@@ -1,0 +1,42 @@
+use pbm_bench::run_one;
+use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
+use pbm_workloads::apps::{self, AppParams};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args.get(1).cloned().unwrap_or("ssca2".into());
+    let ops: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(40_000);
+    let mut params = AppParams::paper();
+    params.ops_per_thread = ops;
+    let wl = apps::build(apps::profile(&app).unwrap(), &params);
+    let base = SystemConfig::micro48();
+    let mut np_cycles = 0f64;
+    let configs: Vec<(String, BarrierKind, u64, bool)> = vec![
+        ("NP".into(), BarrierKind::NoPersistency, 10_000, true),
+        ("LB300".into(), BarrierKind::Lb, 300, true),
+        ("LB1K".into(), BarrierKind::Lb, 1000, true),
+        ("LB10K".into(), BarrierKind::Lb, 10_000, true),
+        ("IDT10K".into(), BarrierKind::LbIdt, 10_000, true),
+        ("LB++10K".into(), BarrierKind::LbPp, 10_000, true),
+        ("NOLOG".into(), BarrierKind::LbPp, 10_000, false),
+    ];
+    for (label, kind, size, logging) in configs {
+        let mut cfg = base.clone();
+        cfg.persistency = PersistencyKind::BufferedStrictBulk;
+        cfg.barrier = kind;
+        cfg.bsp_epoch_size = size;
+        cfg.logging = logging;
+        let t = Instant::now();
+        let stats = run_one(cfg, &wl);
+        if label == "NP" { np_cycles = stats.cycles as f64; }
+        println!(
+            "{app} {label}: wall={:?} cyc={} norm={:.2} epochs={} cfl%={:.1} I={} X={} stall={} bstall={} log={} chk={} ovf={} splits={} evf={} parks={}",
+            t.elapsed(), stats.cycles, stats.cycles as f64 / np_cycles,
+            stats.epochs_created, stats.conflicting_epoch_pct(),
+            stats.conflicts_intra, stats.conflicts_inter,
+            stats.online_persist_stall_cycles, stats.barrier_stall_cycles,
+            stats.log_writes, stats.checkpoint_writes, stats.idt_overflows, stats.deadlock_splits, stats.epochs_eviction_flushed, stats.parks,
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Experiment harness: runs (configuration x workload) matrices and prints
+//! the rows/series of the paper's tables and figures.
+//!
+//! Every figure binary (`fig11`, `fig12`, `fig13`, `fig14`) and ablation
+//! (`ablation_flush`, `ablation_writethrough`) is built on these helpers;
+//! see EXPERIMENTS.md at the repository root for the paper-vs-measured
+//! record they produce.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use pbm_sim::System;
+use pbm_types::{SimStats, SystemConfig};
+use pbm_workloads::Workload;
+use std::sync::mpsc;
+use std::thread;
+
+/// One completed run of the matrix.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label (barrier kind, epoch size, ...).
+    pub config: String,
+    /// The run's statistics.
+    pub stats: SimStats,
+}
+
+/// Runs one workload under one configuration.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the simulation wedges (both
+/// indicate bugs, not workload conditions).
+pub fn run_one(cfg: SystemConfig, wl: &Workload) -> SimStats {
+    let mut sys = System::new(cfg, wl.programs.clone()).expect("valid config");
+    wl.apply_preloads(&mut sys);
+    sys.run()
+}
+
+/// One matrix job: `(config label, workload label, config, workload)`.
+pub type Job = (String, String, SystemConfig, Workload);
+
+/// Runs a labelled `(config, workload)` matrix, parallelizing across the
+/// host's cores. Results come back in input order.
+pub fn run_matrix(jobs: Vec<Job>) -> Vec<RunResult> {
+    let parallelism = thread::available_parallelism()
+        .map_or(4, usize::from)
+        .min(jobs.len().max(1));
+    let mut results: Vec<Option<RunResult>> = vec![None; jobs.len()];
+    let (tx, rx) = mpsc::channel();
+    // Round-robin assignment: worker w takes jobs w, w+P, w+2P, ...
+    let mut shares: Vec<Vec<(usize, Job)>> = (0..parallelism).map(|_| Vec::new()).collect();
+    for (k, job) in jobs.into_iter().enumerate() {
+        shares[k % parallelism].push((k, job));
+    }
+    thread::scope(|scope| {
+        for mine in shares {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for (k, (config, workload, cfg, wl)) in mine {
+                    let stats = run_one(cfg, &wl);
+                    let _ = tx.send((
+                        k,
+                        RunResult {
+                            workload,
+                            config,
+                            stats,
+                        },
+                    ));
+                }
+            });
+        }
+        drop(tx);
+        for (k, r) in rx {
+            results[k] = Some(r);
+        }
+    });
+    results.into_iter().map(|r| r.expect("job ran")).collect()
+}
+
+/// Geometric mean (the paper's summary statistic for throughput and
+/// execution-time ratios).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains a non-positive value.
+pub fn gmean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "gmean of nothing");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|x| {
+            assert!(*x > 0.0, "gmean needs positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean (used for Figure 12's conflict percentages).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn amean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "amean of nothing");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Prints a fixed-width table: header row, one row per entry, with the
+/// first column left-aligned and the rest right-aligned to 10 chars.
+pub fn print_table(title: &str, headers: &[&str], rows: &[(String, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    print!("{:<12}", headers[0]);
+    for h in &headers[1..] {
+        print!("{h:>10}");
+    }
+    println!();
+    for (name, values) in rows {
+        print!("{name:<12}");
+        for v in values {
+            print!("{v:>10.3}");
+        }
+        println!();
+    }
+}
+
+/// Prints the Table 1 header (system parameters) so every experiment's
+/// output records the platform it ran on.
+pub fn print_system_header(cfg: &SystemConfig) {
+    println!(
+        "# system: {} cores, {}KiB L1 x{}-way, {}x{}MiB LLC x{}-way, {} MCs, \
+         NVRAM w/r {}/{} cycles, mesh {}x{}, barrier {}, model {}",
+        cfg.cores,
+        cfg.l1_size / 1024,
+        cfg.l1_assoc,
+        cfg.llc_banks,
+        cfg.llc_bank_size / (1024 * 1024),
+        cfg.llc_assoc,
+        cfg.mcs,
+        cfg.nvram_write_latency,
+        cfg.nvram_read_latency,
+        cfg.mesh_rows,
+        cfg.mesh_cols(),
+        cfg.barrier,
+        cfg.persistency,
+    );
+}
+
+/// True if `--quick` was passed (smaller scale for CI / smoke runs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_of_constants() {
+        assert!((gmean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amean_basic() {
+        assert!((amean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gmean_rejects_zero() {
+        let _ = gmean(&[0.0]);
+    }
+
+    #[test]
+    fn matrix_runs_in_order() {
+        use pbm_sim::ProgramBuilder;
+        use pbm_types::Addr;
+        let mut cfg = SystemConfig::small_test();
+        cfg.cores = 1;
+        let mut b = ProgramBuilder::new();
+        b.store(Addr::new(0), 1).barrier();
+        let wl = Workload {
+            name: "t",
+            programs: vec![b.build()],
+            preloads: vec![],
+        };
+        let jobs = (0..5)
+            .map(|i| (format!("c{i}"), "t".to_string(), cfg.clone(), wl.clone()))
+            .collect();
+        let results = run_matrix(jobs);
+        assert_eq!(results.len(), 5);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.config, format!("c{i}"));
+            assert_eq!(r.stats.stores, 1);
+        }
+    }
+}

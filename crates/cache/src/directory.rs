@@ -1,0 +1,216 @@
+//! LLC-side coherence directory.
+//!
+//! The paper's system (Figure 2) is a directory-based inclusive-LLC
+//! multicore; the epoch machinery needs coherence only to (a) route a
+//! request to the L1 that owns a dirty copy and (b) know which core last
+//! modified a line (the `CoreID` cache-tag extension). This directory
+//! tracks a sharer bitmask and an optional exclusive owner per LLC-resident
+//! line — the minimal state for those two jobs.
+
+use pbm_types::{CoreId, LineAddr};
+use std::collections::HashMap;
+
+/// Directory state for one line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Bitmask of cores that may hold a (shared, clean) copy.
+    pub sharers: u64,
+    /// Core holding the line exclusively (possibly dirty) in its L1.
+    pub owner: Option<CoreId>,
+}
+
+impl DirEntry {
+    /// True if no core holds the line.
+    pub fn is_idle(&self) -> bool {
+        self.sharers == 0 && self.owner.is_none()
+    }
+
+    /// Cores in the sharer mask.
+    pub fn sharer_list(&self) -> Vec<CoreId> {
+        (0..64)
+            .filter(|i| self.sharers & (1 << i) != 0)
+            .map(|i| CoreId::new(i as u32))
+            .collect()
+    }
+}
+
+/// Per-bank coherence directory (inclusive with the bank's array: entries
+/// exist only for lines the controller chooses to track).
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<LineAddr, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entry for `line` (idle default if untracked).
+    pub fn entry(&self, line: LineAddr) -> DirEntry {
+        self.entries.get(&line).copied().unwrap_or_default()
+    }
+
+    /// Records that `core` obtained a shared copy.
+    pub fn add_sharer(&mut self, line: LineAddr, core: CoreId) {
+        let e = self.entries.entry(line).or_default();
+        e.sharers |= 1 << core.index();
+    }
+
+    /// Records that `core` obtained the line exclusively (for a store):
+    /// clears all sharers and sets the owner.
+    pub fn set_owner(&mut self, line: LineAddr, core: CoreId) {
+        let e = self.entries.entry(line).or_default();
+        e.sharers = 1 << core.index();
+        e.owner = Some(core);
+    }
+
+    /// The current exclusive owner, if any.
+    pub fn owner(&self, line: LineAddr) -> Option<CoreId> {
+        self.entries.get(&line).and_then(|e| e.owner)
+    }
+
+    /// Sharers other than `requestor` that must be invalidated for an
+    /// exclusive request.
+    pub fn invalidation_targets(&self, line: LineAddr, requestor: CoreId) -> Vec<CoreId> {
+        self.entry(line)
+            .sharer_list()
+            .into_iter()
+            .filter(|c| *c != requestor)
+            .collect()
+    }
+
+    /// Downgrades the owner to a sharer (a remote read hit a dirty copy:
+    /// the owner writes back and keeps a shared copy).
+    pub fn downgrade_owner(&mut self, line: LineAddr) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.owner = None;
+        }
+    }
+
+    /// Removes `core` from the line's sharers/owner (L1 eviction or
+    /// invalidation).
+    pub fn drop_core(&mut self, line: LineAddr, core: CoreId) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.sharers &= !(1 << core.index());
+            if e.owner == Some(core) {
+                e.owner = None;
+            }
+            if e.is_idle() {
+                self.entries.remove(&line);
+            }
+        }
+    }
+
+    /// Forgets the line entirely (LLC eviction; the controller must have
+    /// recalled L1 copies first — asserted here).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a core still holds the line.
+    pub fn forget(&mut self, line: LineAddr) {
+        if let Some(e) = self.entries.remove(&line) {
+            debug_assert!(e.is_idle(), "forgetting {line} still held: {e:?}");
+        }
+    }
+
+    /// Cores holding any copy (for inclusive-LLC eviction recalls).
+    pub fn holders(&self, line: LineAddr) -> Vec<CoreId> {
+        let e = self.entry(line);
+        let mut list = e.sharer_list();
+        if let Some(o) = e.owner {
+            if !list.contains(&o) {
+                list.push(o);
+            }
+        }
+        list
+    }
+
+    /// Number of tracked lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no lines are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> CoreId {
+        CoreId::new(i)
+    }
+
+    #[test]
+    fn sharers_accumulate() {
+        let mut d = Directory::new();
+        d.add_sharer(LineAddr::new(1), c(0));
+        d.add_sharer(LineAddr::new(1), c(3));
+        assert_eq!(d.entry(LineAddr::new(1)).sharer_list(), vec![c(0), c(3)]);
+        assert_eq!(d.owner(LineAddr::new(1)), None);
+    }
+
+    #[test]
+    fn exclusive_clears_sharers() {
+        let mut d = Directory::new();
+        d.add_sharer(LineAddr::new(1), c(0));
+        d.add_sharer(LineAddr::new(1), c(1));
+        d.set_owner(LineAddr::new(1), c(2));
+        assert_eq!(d.owner(LineAddr::new(1)), Some(c(2)));
+        assert_eq!(d.entry(LineAddr::new(1)).sharer_list(), vec![c(2)]);
+    }
+
+    #[test]
+    fn invalidation_targets_exclude_requestor() {
+        let mut d = Directory::new();
+        d.add_sharer(LineAddr::new(1), c(0));
+        d.add_sharer(LineAddr::new(1), c(1));
+        d.add_sharer(LineAddr::new(1), c(2));
+        assert_eq!(
+            d.invalidation_targets(LineAddr::new(1), c(1)),
+            vec![c(0), c(2)]
+        );
+    }
+
+    #[test]
+    fn downgrade_keeps_sharer() {
+        let mut d = Directory::new();
+        d.set_owner(LineAddr::new(1), c(5));
+        d.downgrade_owner(LineAddr::new(1));
+        assert_eq!(d.owner(LineAddr::new(1)), None);
+        assert_eq!(d.entry(LineAddr::new(1)).sharer_list(), vec![c(5)]);
+    }
+
+    #[test]
+    fn drop_core_cleans_up() {
+        let mut d = Directory::new();
+        d.set_owner(LineAddr::new(1), c(5));
+        d.drop_core(LineAddr::new(1), c(5));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn holders_union_owner_and_sharers() {
+        let mut d = Directory::new();
+        d.add_sharer(LineAddr::new(1), c(0));
+        // Manually craft owner not in sharers (post-downgrade edge).
+        d.set_owner(LineAddr::new(1), c(2));
+        d.add_sharer(LineAddr::new(1), c(0));
+        let mut h = d.holders(LineAddr::new(1));
+        h.sort();
+        assert_eq!(h, vec![c(0), c(2)]);
+    }
+
+    #[test]
+    fn idle_entry_defaults() {
+        let d = Directory::new();
+        assert!(d.entry(LineAddr::new(9)).is_idle());
+        assert_eq!(d.holders(LineAddr::new(9)), vec![]);
+        assert_eq!(d.len(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! A single cache line with the paper's epoch-tag extension.
+
+use pbm_nvram::LineValue;
+use pbm_types::{EpochTag, LineAddr};
+
+/// Validity/dirtiness of a resident cache line.
+///
+/// `Invalid` is represented by absence from the [`CacheSet`](crate::CacheSet)
+/// rather than a state, so a resident line is always `Clean` or `Dirty`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// Matches memory; can be silently dropped.
+    Clean,
+    /// Modified; must be written back before being dropped.
+    Dirty,
+}
+
+/// A resident cache line.
+///
+/// Per §4.3, dirty lines in a persistency-enforcing configuration carry an
+/// [`EpochTag`] (`CoreID` + `EpochID`) identifying the epoch that last
+/// modified them; clean lines never carry a tag. The `value` is the modelled
+/// 64-byte content (see [`pbm_nvram::LineValue`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLine {
+    /// The line's address.
+    pub addr: LineAddr,
+    /// Clean or dirty.
+    pub state: LineState,
+    /// Modelled content token.
+    pub value: LineValue,
+    /// Epoch that last modified the line (dirty lines under a lazy barrier).
+    pub tag: Option<EpochTag>,
+}
+
+impl CacheLine {
+    /// A clean line holding `value`.
+    pub fn clean(addr: LineAddr, value: LineValue) -> Self {
+        CacheLine {
+            addr,
+            state: LineState::Clean,
+            value,
+            tag: None,
+        }
+    }
+
+    /// A dirty line holding `value`, optionally epoch-tagged.
+    pub fn dirty(addr: LineAddr, value: LineValue, tag: Option<EpochTag>) -> Self {
+        CacheLine {
+            addr,
+            state: LineState::Dirty,
+            value,
+            tag,
+        }
+    }
+
+    /// True if the line is dirty.
+    pub fn is_dirty(&self) -> bool {
+        self.state == LineState::Dirty
+    }
+
+    /// True if the line is dirty and belongs to an un-persisted epoch.
+    pub fn is_epoch_tagged(&self) -> bool {
+        self.is_dirty() && self.tag.is_some()
+    }
+
+    /// Marks the line written back: clean, tag dropped. The value stays
+    /// (non-invalidating `clwb`-style flush keeps the line resident).
+    pub fn mark_written_back(&mut self) {
+        self.state = LineState::Clean;
+        self.tag = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbm_types::{CoreId, EpochId};
+
+    fn tag() -> EpochTag {
+        EpochTag::new(CoreId::new(1), EpochId::new(2))
+    }
+
+    #[test]
+    fn constructors() {
+        let c = CacheLine::clean(LineAddr::new(1), 5);
+        assert!(!c.is_dirty());
+        assert!(!c.is_epoch_tagged());
+        assert_eq!(c.tag, None);
+
+        let d = CacheLine::dirty(LineAddr::new(1), 5, Some(tag()));
+        assert!(d.is_dirty());
+        assert!(d.is_epoch_tagged());
+    }
+
+    #[test]
+    fn untagged_dirty_is_not_epoch_tagged() {
+        let d = CacheLine::dirty(LineAddr::new(1), 5, None);
+        assert!(d.is_dirty());
+        assert!(!d.is_epoch_tagged());
+    }
+
+    #[test]
+    fn writeback_cleans_and_unties() {
+        let mut d = CacheLine::dirty(LineAddr::new(1), 5, Some(tag()));
+        d.mark_written_back();
+        assert_eq!(d.state, LineState::Clean);
+        assert_eq!(d.tag, None);
+        assert_eq!(d.value, 5, "clwb keeps the data resident");
+    }
+}

@@ -1,0 +1,133 @@
+//! One associative set with true-LRU replacement.
+
+use crate::line::CacheLine;
+use pbm_types::LineAddr;
+
+/// A cache set: up to `assoc` resident lines ordered by recency.
+///
+/// Index 0 is the most-recently-used way. True LRU is cheap at the
+/// associativities in Table 1 (4 and 16 ways) and deterministic, which the
+/// simulator requires.
+#[derive(Debug, Clone, Default)]
+pub struct CacheSet {
+    /// Lines ordered MRU-first.
+    ways: Vec<CacheLine>,
+}
+
+impl CacheSet {
+    /// Creates an empty set (capacity enforced by [`CacheArray`]).
+    ///
+    /// [`CacheArray`]: crate::CacheArray
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.ways.len()
+    }
+
+    /// True if no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.ways.is_empty()
+    }
+
+    /// Looks up a line without changing recency.
+    pub fn peek(&self, addr: LineAddr) -> Option<&CacheLine> {
+        self.ways.iter().find(|l| l.addr == addr)
+    }
+
+    /// Mutable lookup without changing recency.
+    pub fn peek_mut(&mut self, addr: LineAddr) -> Option<&mut CacheLine> {
+        self.ways.iter_mut().find(|l| l.addr == addr)
+    }
+
+    /// Looks up a line and promotes it to MRU on hit.
+    pub fn touch(&mut self, addr: LineAddr) -> Option<&mut CacheLine> {
+        let pos = self.ways.iter().position(|l| l.addr == addr)?;
+        let line = self.ways.remove(pos);
+        self.ways.insert(0, line);
+        Some(&mut self.ways[0])
+    }
+
+    /// Inserts a line at MRU. The caller must have made room (asserted in
+    /// debug builds by [`CacheArray`](crate::CacheArray)).
+    pub fn insert_mru(&mut self, line: CacheLine) {
+        debug_assert!(
+            self.peek(line.addr).is_none(),
+            "line {} already resident",
+            line.addr
+        );
+        self.ways.insert(0, line);
+    }
+
+    /// Removes and returns a line.
+    pub fn remove(&mut self, addr: LineAddr) -> Option<CacheLine> {
+        let pos = self.ways.iter().position(|l| l.addr == addr)?;
+        Some(self.ways.remove(pos))
+    }
+
+    /// Iterates lines MRU-first.
+    pub fn iter(&self) -> impl Iterator<Item = &CacheLine> {
+        self.ways.iter()
+    }
+
+    /// Iterates lines LRU-first (eviction-candidate order).
+    pub fn iter_lru(&self) -> impl Iterator<Item = &CacheLine> {
+        self.ways.iter().rev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> CacheLine {
+        CacheLine::clean(LineAddr::new(n), n)
+    }
+
+    #[test]
+    fn insert_peek_remove() {
+        let mut s = CacheSet::new();
+        assert!(s.is_empty());
+        s.insert_mru(line(1));
+        s.insert_mru(line(2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.peek(LineAddr::new(1)).unwrap().value, 1);
+        assert_eq!(s.remove(LineAddr::new(1)).unwrap().value, 1);
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(LineAddr::new(1)).is_none());
+    }
+
+    #[test]
+    fn touch_promotes_to_mru() {
+        let mut s = CacheSet::new();
+        s.insert_mru(line(1));
+        s.insert_mru(line(2));
+        s.insert_mru(line(3)); // order: 3,2,1
+        assert!(s.touch(LineAddr::new(1)).is_some()); // order: 1,3,2
+        let order: Vec<u64> = s.iter().map(|l| l.addr.as_u64()).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+        let lru: Vec<u64> = s.iter_lru().map(|l| l.addr.as_u64()).collect();
+        assert_eq!(lru, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn touch_miss_returns_none() {
+        let mut s = CacheSet::new();
+        s.insert_mru(line(1));
+        assert!(s.touch(LineAddr::new(9)).is_none());
+        // Order unchanged.
+        assert_eq!(s.iter().next().unwrap().addr, LineAddr::new(1));
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut s = CacheSet::new();
+        s.insert_mru(line(1));
+        s.insert_mru(line(2));
+        let _ = s.peek(LineAddr::new(1));
+        let order: Vec<u64> = s.iter().map(|l| l.addr.as_u64()).collect();
+        assert_eq!(order, vec![2, 1]);
+    }
+}

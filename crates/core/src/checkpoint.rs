@@ -1,0 +1,64 @@
+//! Processor-state checkpointing for BSP bulk mode (§5.2, §6).
+//!
+//! At every hardware epoch boundary the processor state — general-purpose,
+//! special, privilege and non-AVX floating-point registers — is saved to
+//! persistent memory alongside the epoch's data, so execution can restart
+//! from the last durable epoch after a crash (in the spirit of WSP).
+//! This module models the *cost*: how many NVRAM line writes each
+//! checkpoint adds to an epoch flush.
+
+use pbm_types::{LineAddr, LINE_SIZE};
+
+/// Cost model of one per-epoch processor-state checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointModel {
+    bytes: u64,
+}
+
+impl CheckpointModel {
+    /// A checkpoint of `bytes` of architectural state (the paper's register
+    /// inventory comes to ~512 B per core; `SystemConfig::checkpoint_bytes`).
+    pub fn new(bytes: u64) -> Self {
+        CheckpointModel { bytes }
+    }
+
+    /// Bytes captured per checkpoint.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// NVRAM line writes added to every epoch flush.
+    pub fn lines_per_epoch(&self) -> u64 {
+        LineAddr::lines_for(self.bytes)
+    }
+
+    /// Total checkpoint traffic in bytes after `epochs` epochs.
+    pub fn traffic_bytes(&self, epochs: u64) -> u64 {
+        self.lines_per_epoch() * LINE_SIZE * epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_checkpoint_is_eight_lines() {
+        let m = CheckpointModel::new(512);
+        assert_eq!(m.lines_per_epoch(), 8);
+        assert_eq!(m.bytes(), 512);
+    }
+
+    #[test]
+    fn ragged_sizes_round_up() {
+        assert_eq!(CheckpointModel::new(1).lines_per_epoch(), 1);
+        assert_eq!(CheckpointModel::new(65).lines_per_epoch(), 2);
+        assert_eq!(CheckpointModel::new(0).lines_per_epoch(), 0);
+    }
+
+    #[test]
+    fn traffic_accumulates() {
+        let m = CheckpointModel::new(512);
+        assert_eq!(m.traffic_bytes(10), 8 * 64 * 10);
+    }
+}

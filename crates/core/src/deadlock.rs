@@ -1,0 +1,105 @@
+//! Epoch-deadlock avoidance (§3.3).
+//!
+//! A circular dependence between epochs can only arise when a request
+//! creates an inter-thread dependence on an epoch that is still *ongoing*
+//! (its closing barrier has not retired): a completed epoch has no pending
+//! memory operations, so it can never acquire an inverse dependence. The
+//! paper's rule is therefore: when a dependence lands on an ongoing source
+//! epoch, split that epoch at the current point — the completed first half
+//! becomes the dependence source, the remainder continues as a fresh epoch —
+//! which conservatively removes any possibility of a cycle.
+
+use crate::epoch::EpochState;
+
+/// What to do about a just-detected inter-thread dependence, given the
+/// source epoch's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitDecision {
+    /// The source epoch is completed: record the dependence as-is; no
+    /// deadlock is possible.
+    NoSplit,
+    /// The source epoch is ongoing: split it first (the completed first
+    /// half keeps the current id and becomes the dependence source), then
+    /// record the dependence against that first half.
+    SplitSource,
+}
+
+/// Applies the §3.3 rule: split exactly when the source epoch is ongoing.
+///
+/// # Panics
+///
+/// Panics if the source epoch already persisted or is mid-flush — a
+/// persisted epoch's lines carry no tag, so no conflict can name it, and a
+/// flushing epoch is by definition completed; either indicates a caller bug.
+///
+/// # Example
+///
+/// ```
+/// use pbm_core::{split_decision, SplitDecision, EpochState};
+/// assert_eq!(split_decision(EpochState::Ongoing), SplitDecision::SplitSource);
+/// assert_eq!(split_decision(EpochState::Completed), SplitDecision::NoSplit);
+/// ```
+pub fn split_decision(source_state: EpochState) -> SplitDecision {
+    match source_state {
+        EpochState::Ongoing => SplitDecision::SplitSource,
+        EpochState::Completed => SplitDecision::NoSplit,
+        EpochState::Flushing => SplitDecision::NoSplit,
+        EpochState::Persisted => {
+            panic!("dependence on a persisted epoch: its lines cannot be tagged")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hb::HbGraph;
+    use pbm_types::{CoreId, EpochId, EpochTag};
+
+    #[test]
+    fn ongoing_source_splits() {
+        assert_eq!(split_decision(EpochState::Ongoing), SplitDecision::SplitSource);
+    }
+
+    #[test]
+    fn completed_source_records_directly() {
+        assert_eq!(split_decision(EpochState::Completed), SplitDecision::NoSplit);
+        assert_eq!(split_decision(EpochState::Flushing), SplitDecision::NoSplit);
+    }
+
+    #[test]
+    #[should_panic(expected = "persisted")]
+    fn persisted_source_is_a_bug() {
+        let _ = split_decision(EpochState::Persisted);
+    }
+
+    /// Reproduces Figure 5: two threads with a circular read pattern. With
+    /// the split rule the dependence graph stays acyclic.
+    #[test]
+    fn figure5_cycle_is_broken_by_splitting() {
+        let t0 = CoreId::new(0);
+        let t1 = CoreId::new(1);
+        let mut hb = HbGraph::new();
+
+        // T1's Ld A hits T0's ongoing epoch Ei: §3.3 says split Ei into
+        // Ei1 (completed, the source) and Ei2 (ongoing remainder).
+        let ei1 = EpochTag::new(t0, EpochId::new(0));
+        let ei2 = EpochTag::new(t0, EpochId::new(1));
+        let ej = EpochTag::new(t1, EpochId::new(0));
+        hb.add_program_order(ei1, ei2);
+        hb.add_dependence(ei1, ej); // Ej depends on Ei1
+
+        // T0's Ld X then hits T1's ongoing epoch Ej: the inverse
+        // dependence now lands on T0's *remainder* epoch Ei2, not Ei1.
+        hb.add_dependence(ej, ei2);
+
+        assert!(hb.is_acyclic(), "splitting must break the Figure 5 cycle");
+
+        // Without splitting, the same two dependences form a cycle.
+        let mut naive = HbGraph::new();
+        let ei = EpochTag::new(t0, EpochId::new(0));
+        naive.add_dependence(ei, ej);
+        naive.add_dependence(ej, ei);
+        assert!(!naive.is_acyclic());
+    }
+}

@@ -1,0 +1,249 @@
+//! The epoch happens-before order (§4.1).
+//!
+//! "The union of the intra-thread program order and inter-thread shared
+//! memory dependencies define this epoch happens-before order. The goal of
+//! the epoch flush protocol is to ensure that the order in which epochs are
+//! persisted is consistent with this happens-before order."
+//!
+//! [`HbGraph`] records exactly that union and answers the two questions the
+//! rest of the system asks of it: is the order still acyclic (deadlock
+//! freedom), and is a given set of persisted epochs *prefix-closed* under
+//! it (crash consistency)?
+
+use pbm_types::EpochTag;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A DAG (if the protocol is correct) over epoch tags.
+#[derive(Debug, Clone, Default)]
+pub struct HbGraph {
+    /// edges[a] = epochs that must persist after `a` (a happens-before b).
+    succ: BTreeMap<EpochTag, BTreeSet<EpochTag>>,
+    /// Reverse edges, for prefix checks.
+    pred: BTreeMap<EpochTag, BTreeSet<EpochTag>>,
+}
+
+impl HbGraph {
+    /// Creates an empty order.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `before` →(program order)→ `after` on one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tags belong to different cores or are not in
+    /// increasing epoch order.
+    pub fn add_program_order(&mut self, before: EpochTag, after: EpochTag) {
+        assert!(
+            before.precedes_same_core(after),
+            "{before} does not precede {after} in program order"
+        );
+        self.add_edge(before, after);
+    }
+
+    /// Records an inter-thread dependence: `source` must persist before
+    /// `dependent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both tags are on the same core (that is program order).
+    pub fn add_dependence(&mut self, source: EpochTag, dependent: EpochTag) {
+        assert_ne!(
+            source.core, dependent.core,
+            "same-core edges must use add_program_order"
+        );
+        self.add_edge(source, dependent);
+    }
+
+    fn add_edge(&mut self, from: EpochTag, to: EpochTag) {
+        self.succ.entry(from).or_default().insert(to);
+        self.pred.entry(to).or_default().insert(from);
+        self.succ.entry(to).or_default();
+        self.pred.entry(from).or_default();
+    }
+
+    /// All epochs mentioned by any edge.
+    pub fn nodes(&self) -> impl Iterator<Item = EpochTag> + '_ {
+        self.succ.keys().copied()
+    }
+
+    /// Direct predecessors of `e` (epochs that must persist before it).
+    pub fn predecessors(&self, e: EpochTag) -> Vec<EpochTag> {
+        self.pred
+            .get(&e)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.values().map(BTreeSet::len).sum()
+    }
+
+    /// True if the recorded order has no cycles (Kahn's algorithm).
+    pub fn is_acyclic(&self) -> bool {
+        let mut indegree: BTreeMap<EpochTag, usize> = self
+            .succ
+            .keys()
+            .map(|k| (*k, self.pred.get(k).map_or(0, BTreeSet::len)))
+            .collect();
+        let mut queue: VecDeque<EpochTag> = indegree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut visited = 0;
+        while let Some(n) = queue.pop_front() {
+            visited += 1;
+            if let Some(next) = self.succ.get(&n) {
+                for m in next {
+                    let d = indegree.get_mut(m).expect("node known");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push_back(*m);
+                    }
+                }
+            }
+        }
+        visited == self.succ.len()
+    }
+
+    /// Checks that `persisted` is prefix-closed: every predecessor of a
+    /// persisted epoch is itself persisted. Returns the first violating
+    /// `(missing_predecessor, persisted_epoch)` pair, or `None` if closed.
+    pub fn prefix_violation<F>(&self, persisted: F) -> Option<(EpochTag, EpochTag)>
+    where
+        F: Fn(EpochTag) -> bool,
+    {
+        for (node, preds) in &self.pred {
+            if persisted(*node) {
+                for p in preds {
+                    if !persisted(*p) {
+                        return Some((*p, *node));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbm_types::{CoreId, EpochId};
+    use proptest::prelude::*;
+
+    fn tag(c: u32, e: u64) -> EpochTag {
+        EpochTag::new(CoreId::new(c), EpochId::new(e))
+    }
+
+    #[test]
+    fn chain_is_acyclic() {
+        let mut hb = HbGraph::new();
+        hb.add_program_order(tag(0, 0), tag(0, 1));
+        hb.add_program_order(tag(0, 1), tag(0, 2));
+        hb.add_dependence(tag(0, 2), tag(1, 0));
+        assert!(hb.is_acyclic());
+        assert_eq!(hb.edge_count(), 3);
+        assert_eq!(hb.predecessors(tag(1, 0)), vec![tag(0, 2)]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut hb = HbGraph::new();
+        hb.add_dependence(tag(0, 0), tag(1, 0));
+        hb.add_dependence(tag(1, 0), tag(0, 0));
+        assert!(!hb.is_acyclic());
+    }
+
+    #[test]
+    fn self_loop_via_longer_cycle() {
+        let mut hb = HbGraph::new();
+        hb.add_dependence(tag(0, 0), tag(1, 0));
+        hb.add_dependence(tag(1, 0), tag(2, 0));
+        hb.add_dependence(tag(2, 0), tag(0, 0));
+        assert!(!hb.is_acyclic());
+    }
+
+    #[test]
+    #[should_panic(expected = "program order")]
+    fn wrong_order_program_edge_panics() {
+        let mut hb = HbGraph::new();
+        hb.add_program_order(tag(0, 2), tag(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "same-core")]
+    fn same_core_dependence_panics() {
+        let mut hb = HbGraph::new();
+        hb.add_dependence(tag(0, 0), tag(0, 1));
+    }
+
+    #[test]
+    fn prefix_closure_detects_missing_predecessor() {
+        let mut hb = HbGraph::new();
+        hb.add_program_order(tag(0, 0), tag(0, 1));
+        hb.add_dependence(tag(1, 0), tag(0, 1));
+        // 0:E1 persisted but its inter-thread source 1:E0 is not.
+        let persisted = |t: EpochTag| t == tag(0, 1) || t == tag(0, 0);
+        assert_eq!(
+            hb.prefix_violation(persisted),
+            Some((tag(1, 0), tag(0, 1)))
+        );
+        // Once the source persists too the set is closed.
+        let all = |_t: EpochTag| true;
+        assert_eq!(hb.prefix_violation(all), None);
+        let none = |_t: EpochTag| false;
+        assert_eq!(hb.prefix_violation(none), None);
+    }
+
+    proptest! {
+        /// Random forward-only edges (by (core,epoch) lexicographic order)
+        /// can never form a cycle.
+        #[test]
+        fn prop_forward_edges_acyclic(edges in proptest::collection::vec(
+            (0u32..4, 0u64..4, 0u32..4, 0u64..4), 1..30)
+        ) {
+            let mut hb = HbGraph::new();
+            for (c1, e1, c2, e2) in edges {
+                let a = tag(c1, e1);
+                let b = tag(c2, e2);
+                if (c1, e1) < (c2, e2) {
+                    if c1 == c2 {
+                        hb.add_program_order(a, b);
+                    } else {
+                        hb.add_dependence(a, b);
+                    }
+                }
+            }
+            prop_assert!(hb.is_acyclic());
+        }
+
+        /// A downward-closed cut of a random forward-edge DAG never has a
+        /// prefix violation.
+        #[test]
+        fn prop_downward_cut_is_prefix_closed(
+            edges in proptest::collection::vec(
+                (0u32..3, 0u64..3, 0u32..3, 0u64..3), 1..20),
+            cut_core in 0u32..3, cut_epoch in 0u64..3,
+        ) {
+            let mut hb = HbGraph::new();
+            for (c1, e1, c2, e2) in edges {
+                // Edge from smaller (core+epoch) sum to larger keeps the
+                // "persisted iff sum < cut" set downward closed.
+                let (sa, sb) = (c1 as u64 + e1, c2 as u64 + e2);
+                if sa < sb {
+                    let a = tag(c1, e1);
+                    let b = tag(c2, e2);
+                    if c1 == c2 { hb.add_program_order(a, b); }
+                    else { hb.add_dependence(a, b); }
+                }
+            }
+            let cut = cut_core as u64 + cut_epoch;
+            let persisted = |t: EpochTag| (t.core.as_u32() as u64 + t.epoch.as_u64()) < cut;
+            prop_assert_eq!(hb.prefix_violation(persisted), None);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The epoch flush protocol messages (Figures 6 and 8).
+
+use pbm_types::{BankId, EpochTag, LineAddr, McId};
+
+/// Messages of the multi-banked epoch flush handshake.
+///
+/// The timing layer (`pbm-sim`) wraps these in network events; keeping the
+/// vocabulary here documents the protocol in one place and lets protocol
+/// tests speak the paper's language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushMessage {
+    /// L1 → LLC bank: the named epoch's L1 lines have been written back;
+    /// flush everything you hold for it (step ① of Figure 8).
+    FlushEpoch(EpochTag),
+    /// L1 → LLC bank: epoch completion notice — the bank has now seen every
+    /// line of the epoch (Figure 6; subsumed by `FlushEpoch` in the
+    /// arbiter-driven protocol but kept for the monolithic-LLC variant).
+    EpochCmp(EpochTag),
+    /// LLC bank → MC: durably write this line (step ②).
+    FlushLine {
+        /// Epoch on whose behalf the line is flushed.
+        tag: EpochTag,
+        /// The line.
+        line: LineAddr,
+        /// Destination controller.
+        mc: McId,
+    },
+    /// MC → LLC bank: the line is durable (step ②'s response).
+    PersistAck {
+        /// Epoch the write belonged to.
+        tag: EpochTag,
+        /// The now-durable line.
+        line: LineAddr,
+    },
+    /// LLC bank → arbiter: this bank has persisted all its lines of the
+    /// epoch (step ③).
+    BankAck {
+        /// The acknowledging bank.
+        bank: BankId,
+        /// The epoch.
+        tag: EpochTag,
+    },
+    /// Arbiter → all LLC banks: the epoch has fully persisted; banks may
+    /// flush this core's next epoch (step ④).
+    PersistCmp(EpochTag),
+}
+
+impl FlushMessage {
+    /// The epoch the message concerns.
+    pub fn tag(&self) -> EpochTag {
+        match self {
+            FlushMessage::FlushEpoch(t)
+            | FlushMessage::EpochCmp(t)
+            | FlushMessage::PersistCmp(t) => *t,
+            FlushMessage::FlushLine { tag, .. }
+            | FlushMessage::PersistAck { tag, .. }
+            | FlushMessage::BankAck { tag, .. } => *tag,
+        }
+    }
+
+    /// True for messages that carry a cache line (data class on the NoC).
+    pub fn carries_data(&self) -> bool {
+        matches!(self, FlushMessage::FlushLine { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbm_types::{CoreId, EpochId};
+
+    fn tag() -> EpochTag {
+        EpochTag::new(CoreId::new(1), EpochId::new(2))
+    }
+
+    #[test]
+    fn tag_extraction() {
+        let msgs = [
+            FlushMessage::FlushEpoch(tag()),
+            FlushMessage::EpochCmp(tag()),
+            FlushMessage::PersistCmp(tag()),
+            FlushMessage::FlushLine {
+                tag: tag(),
+                line: LineAddr::new(1),
+                mc: McId::new(0),
+            },
+            FlushMessage::PersistAck {
+                tag: tag(),
+                line: LineAddr::new(1),
+            },
+            FlushMessage::BankAck {
+                bank: BankId::new(3),
+                tag: tag(),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.tag(), tag());
+        }
+    }
+
+    #[test]
+    fn only_flush_line_carries_data() {
+        assert!(FlushMessage::FlushLine {
+            tag: tag(),
+            line: LineAddr::new(0),
+            mc: McId::new(0)
+        }
+        .carries_data());
+        assert!(!FlushMessage::FlushEpoch(tag()).carries_data());
+        assert!(!FlushMessage::BankAck {
+            bank: BankId::new(0),
+            tag: tag()
+        }
+        .carries_data());
+    }
+}

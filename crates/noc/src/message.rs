@@ -1,0 +1,73 @@
+//! Message size classes carried by the network.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size and virtual-network class of a network message.
+///
+/// Mirrors the virtual-network split of the Ruby/Garnet setup the paper
+/// simulates on: requests and protocol acks (FlushEpoch, BankAck,
+/// PersistCMP, PersistAck, EpochCMP) travel on the control network, demand
+/// data responses on the response network, and writeback/flush-line/log
+/// traffic on the writeback network. Each class has its own virtual
+/// channels, so bulk epoch flushes cannot starve demand traffic (they still
+/// contend for memory-controller write bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageClass {
+    /// Header-only message (requests, acks, barrier protocol): 8 bytes.
+    Control,
+    /// Demand response carrying a 64-byte line plus header: 72 bytes.
+    Data,
+    /// Background line transfer (writebacks, epoch flush lines, undo-log
+    /// and checkpoint writes): 72 bytes on its own virtual network.
+    Writeback,
+}
+
+impl MessageClass {
+    /// Payload size in bytes, including the header.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MessageClass::Control => 8,
+            MessageClass::Data | MessageClass::Writeback => 72,
+        }
+    }
+
+    /// Virtual-network index (one set of link channels per class).
+    pub const fn vnet(self) -> usize {
+        match self {
+            MessageClass::Control => 0,
+            MessageClass::Data => 1,
+            MessageClass::Writeback => 2,
+        }
+    }
+
+    /// Number of virtual networks.
+    pub const VNETS: usize = 3;
+}
+
+impl fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MessageClass::Control => f.write_str("ctrl"),
+            MessageClass::Data => f.write_str("data"),
+            MessageClass::Writeback => f.write_str("wb"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(MessageClass::Control.bytes(), 8);
+        assert_eq!(MessageClass::Data.bytes(), 72);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MessageClass::Control.to_string(), "ctrl");
+        assert_eq!(MessageClass::Data.to_string(), "data");
+    }
+}

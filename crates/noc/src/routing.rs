@@ -1,0 +1,114 @@
+//! XY dimension-order routing.
+
+use crate::topology::Coord;
+
+/// Returns an iterator over the directed links `(from, to)` of the XY route
+/// from `src` to `dst`: first along the row (X), then along the column (Y).
+///
+/// XY routing is minimal and deadlock-free on a mesh, which is why Garnet's
+/// default (and this model) uses it.
+///
+/// # Example
+///
+/// ```
+/// use pbm_noc::{route_xy, Coord};
+/// let hops: Vec<_> = route_xy(Coord::new(0, 0), Coord::new(1, 2)).collect();
+/// assert_eq!(hops.len(), 3); // 2 east + 1 south
+/// assert_eq!(hops[0], (Coord::new(0, 0), Coord::new(0, 1)));
+/// assert_eq!(hops[2], (Coord::new(0, 2), Coord::new(1, 2)));
+/// ```
+pub fn route_xy(src: Coord, dst: Coord) -> RouteIter {
+    RouteIter { cur: src, dst }
+}
+
+/// Iterator over the links of an XY route; see [`route_xy`].
+#[derive(Debug, Clone)]
+pub struct RouteIter {
+    cur: Coord,
+    dst: Coord,
+}
+
+impl Iterator for RouteIter {
+    type Item = (Coord, Coord);
+
+    fn next(&mut self) -> Option<(Coord, Coord)> {
+        let from = self.cur;
+        let next = if self.cur.col < self.dst.col {
+            Coord::new(self.cur.row, self.cur.col + 1)
+        } else if self.cur.col > self.dst.col {
+            Coord::new(self.cur.row, self.cur.col - 1)
+        } else if self.cur.row < self.dst.row {
+            Coord::new(self.cur.row + 1, self.cur.col)
+        } else if self.cur.row > self.dst.row {
+            Coord::new(self.cur.row - 1, self.cur.col)
+        } else {
+            return None;
+        };
+        self.cur = next;
+        Some((from, next))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_route_for_same_tile() {
+        assert_eq!(route_xy(Coord::new(1, 1), Coord::new(1, 1)).count(), 0);
+    }
+
+    #[test]
+    fn x_before_y() {
+        let hops: Vec<_> = route_xy(Coord::new(3, 0), Coord::new(0, 2)).collect();
+        // East twice, then north three times.
+        assert_eq!(hops[0].1, Coord::new(3, 1));
+        assert_eq!(hops[1].1, Coord::new(3, 2));
+        assert_eq!(hops[2].1, Coord::new(2, 2));
+        assert_eq!(hops.len(), 5);
+    }
+
+    #[test]
+    fn route_is_connected() {
+        let hops: Vec<_> = route_xy(Coord::new(0, 5), Coord::new(3, 1)).collect();
+        for pair in hops.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0, "links must chain");
+        }
+        assert_eq!(hops.last().unwrap().1, Coord::new(3, 1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_route_is_minimal(
+            sr in 0usize..8, sc in 0usize..8,
+            dr in 0usize..8, dc in 0usize..8,
+        ) {
+            let s = Coord::new(sr, sc);
+            let d = Coord::new(dr, dc);
+            let len = route_xy(s, d).count() as u64;
+            prop_assert_eq!(len, s.manhattan(d));
+        }
+
+        #[test]
+        fn prop_route_ends_at_destination(
+            sr in 0usize..8, sc in 0usize..8,
+            dr in 0usize..8, dc in 0usize..8,
+        ) {
+            let s = Coord::new(sr, sc);
+            let d = Coord::new(dr, dc);
+            let end = route_xy(s, d).last().map(|(_, to)| to).unwrap_or(s);
+            prop_assert_eq!(end, d);
+        }
+
+        #[test]
+        fn prop_each_hop_is_unit_length(
+            sr in 0usize..8, sc in 0usize..8,
+            dr in 0usize..8, dc in 0usize..8,
+        ) {
+            for (from, to) in route_xy(Coord::new(sr, sc), Coord::new(dr, dc)) {
+                prop_assert_eq!(from.manhattan(to), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The discrete event queue.
+
+use pbm_types::{CoreId, Cycle, EpochId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Event {
+    /// Execute (or retry) the core's current operation.
+    Step(CoreId),
+    /// A `BankAck` for `(core, epoch)` arrived at the core's arbiter.
+    BankAck(CoreId, EpochId),
+}
+
+/// Time-ordered event queue. Ties break by insertion sequence, making the
+/// simulation fully deterministic.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Cycle, u64, Event)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn schedule(&mut self, at: Cycle, event: Event) {
+        self.heap.push(Reverse((at, self.seq, event)));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Cycle, Event)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, e))
+    }
+
+    /// Number of pending events.
+    #[allow(dead_code)] // used by tests and debugging assertions
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[allow(dead_code)] // used by tests and debugging assertions
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(10), Event::Step(CoreId::new(0)));
+        q.schedule(Cycle::new(5), Event::Step(CoreId::new(1)));
+        q.schedule(Cycle::new(7), Event::BankAck(CoreId::new(2), EpochId::new(0)));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((Cycle::new(5), Event::Step(CoreId::new(1)))));
+        assert_eq!(
+            q.pop(),
+            Some((Cycle::new(7), Event::BankAck(CoreId::new(2), EpochId::new(0))))
+        );
+        assert_eq!(q.pop(), Some((Cycle::new(10), Event::Step(CoreId::new(0)))));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(5), Event::Step(CoreId::new(0)));
+        q.schedule(Cycle::new(5), Event::Step(CoreId::new(1)));
+        assert_eq!(q.pop(), Some((Cycle::new(5), Event::Step(CoreId::new(0)))));
+        assert_eq!(q.pop(), Some((Cycle::new(5), Event::Step(CoreId::new(1)))));
+    }
+}

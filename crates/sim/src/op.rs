@@ -1,0 +1,224 @@
+//! Per-core programs: the operations a core executes.
+
+use pbm_types::Addr;
+
+/// One operation in a core's program.
+///
+/// Programs are straight-line (no data-dependent control flow) except for
+/// [`Op::Lock`], which spins until it wins the named lock — enough to
+/// express the paper's workloads (persistent data-structure transactions
+/// under locks, and barrier-free BSP applications) while keeping traces
+/// replayable and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Load the line containing `addr`; the core blocks until data returns.
+    Load(Addr),
+    /// Store `value` to the line containing `addr`; retires into the write
+    /// buffer (the core continues unless the buffer is full or the store
+    /// conflicts).
+    Store(Addr, u32),
+    /// A persist barrier (programmer-inserted; BEP/EP semantics).
+    Barrier,
+    /// Local computation for the given number of cycles.
+    Compute(u32),
+    /// Acquire a spin lock at `addr` (architecturally atomic; the line is
+    /// in the volatile region by convention).
+    Lock(Addr),
+    /// Release the lock at `addr`.
+    Unlock(Addr),
+    /// Marks the completion of one application-level transaction
+    /// (throughput accounting for the micro-benchmarks).
+    TxEnd,
+}
+
+/// An immutable per-core operation sequence.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    ops: Vec<Op>,
+}
+
+impl Program {
+    /// An empty program (the core finishes immediately).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The operations.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if there are no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Count of store operations (useful for sizing expectations in tests).
+    pub fn store_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, Op::Store(_, _)))
+            .count()
+    }
+}
+
+impl FromIterator<Op> for Program {
+    fn from_iter<T: IntoIterator<Item = Op>>(iter: T) -> Self {
+        Program {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Non-consuming builder for [`Program`]s.
+///
+/// # Example
+///
+/// ```
+/// use pbm_sim::ProgramBuilder;
+/// use pbm_types::Addr;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.lock(Addr::new(4096))
+///     .store(Addr::new(0), 7)
+///     .barrier()
+///     .unlock(Addr::new(4096))
+///     .tx_end();
+/// let p = b.build();
+/// assert_eq!(p.len(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a load.
+    pub fn load(&mut self, addr: Addr) -> &mut Self {
+        self.ops.push(Op::Load(addr));
+        self
+    }
+
+    /// Appends a store of `value`.
+    pub fn store(&mut self, addr: Addr, value: u32) -> &mut Self {
+        self.ops.push(Op::Store(addr, value));
+        self
+    }
+
+    /// Appends a persist barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.ops.push(Op::Barrier);
+        self
+    }
+
+    /// Appends `cycles` of local compute.
+    pub fn compute(&mut self, cycles: u32) -> &mut Self {
+        self.ops.push(Op::Compute(cycles));
+        self
+    }
+
+    /// Appends a lock acquire.
+    pub fn lock(&mut self, addr: Addr) -> &mut Self {
+        self.ops.push(Op::Lock(addr));
+        self
+    }
+
+    /// Appends a lock release.
+    pub fn unlock(&mut self, addr: Addr) -> &mut Self {
+        self.ops.push(Op::Unlock(addr));
+        self
+    }
+
+    /// Appends a transaction-end marker.
+    pub fn tx_end(&mut self) -> &mut Self {
+        self.ops.push(Op::TxEnd);
+        self
+    }
+
+    /// Appends stores covering `bytes` bytes starting at `addr` (one store
+    /// per 64-byte line), all with `value` — the shape of the paper's
+    /// 512-byte entry copies.
+    pub fn store_span(&mut self, addr: Addr, bytes: u64, value: u32) -> &mut Self {
+        let lines = pbm_types::LineAddr::lines_for(bytes);
+        for l in addr.line().span(lines) {
+            self.store(l.base(), value);
+        }
+        self
+    }
+
+    /// Appends a raw op.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Number of ops so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no ops have been added.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Finalizes the program.
+    pub fn build(&self) -> Program {
+        Program {
+            ops: self.ops.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = ProgramBuilder::new();
+        assert!(b.is_empty());
+        b.load(Addr::new(0))
+            .store(Addr::new(64), 1)
+            .barrier()
+            .compute(10)
+            .tx_end();
+        let p = b.build();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.store_count(), 1);
+        assert_eq!(p.ops()[0], Op::Load(Addr::new(0)));
+        assert_eq!(p.ops()[2], Op::Barrier);
+    }
+
+    #[test]
+    fn store_span_covers_lines() {
+        let mut b = ProgramBuilder::new();
+        b.store_span(Addr::new(0), 512, 9);
+        let p = b.build();
+        assert_eq!(p.store_count(), 8);
+        assert_eq!(p.ops()[7], Op::Store(Addr::new(7 * 64), 9));
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: Program = vec![Op::Barrier, Op::TxEnd].into_iter().collect();
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -1,0 +1,685 @@
+//! The simulated system: construction, the event loop, and core stepping.
+
+use crate::event::{Event, EventQueue};
+use crate::op::{Op, Program};
+use pbm_cache::CacheArray;
+use pbm_core::recovery::ConsistencyChecker;
+use pbm_core::{BarrierSemantics, EpochArbiter};
+use pbm_noc::Mesh;
+use pbm_nvram::{DurableSnapshot, LineValue, McTiming, NvramDevice, UndoLog};
+use pbm_types::{
+    Addr, BankId, BarrierKind, ConfigError, CoreId, Cycle, EpochId, EpochTag, LineAddr,
+    SimStats, SystemConfig,
+};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+
+/// Byte addresses at or above this boundary are *volatile*: never epoch
+/// tagged, never logged, excluded from persistence checking. Workloads put
+/// locks and scratch data here. Under BSP bulk mode (whole-execution
+/// persistence) the boundary is ignored and everything is tagged.
+pub const VOLATILE_BASE: u64 = 1 << 40;
+
+/// Why an epoch flush was requested — the attribution behind Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// An intra- or inter-thread epoch conflict demanded the flush
+    /// (an *online* persist).
+    Conflict,
+    /// A cache eviction needed a tagged victim persisted first.
+    Eviction,
+    /// Proactive flushing on epoch completion (PF, offline).
+    Proactive,
+    /// The in-flight epoch window (3-bit epoch id) filled up.
+    BackPressure,
+    /// An EP-model barrier stalled for the epoch (rule E2).
+    Barrier,
+    /// End-of-run drain.
+    Drain,
+}
+
+/// Why a core is currently stalled (for cycle attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StallKind {
+    OnlinePersist,
+    Barrier,
+}
+
+#[derive(Debug)]
+pub(crate) struct CoreState {
+    pub program: Program,
+    pub pc: usize,
+    /// Outstanding store completion times (write buffer occupancy).
+    pub wb: BinaryHeap<Reverse<u64>>,
+    /// Dynamic stores since the last (hardware) epoch cut.
+    pub epoch_stores: u64,
+    /// A hardware epoch cut is due before the next op executes.
+    pub pending_auto_barrier: bool,
+    /// A barrier already closed this epoch and is now waiting for it to
+    /// persist (EP rule E2); retries must not close another epoch.
+    pub barrier_wait: Option<EpochId>,
+    pub finish: Option<Cycle>,
+    /// Set while parked on an epoch persist: (since, kind).
+    pub stalled: Option<(Cycle, StallKind)>,
+}
+
+impl CoreState {
+    fn new(program: Program) -> Self {
+        CoreState {
+            program,
+            pc: 0,
+            wb: BinaryHeap::new(),
+            epoch_stores: 0,
+            pending_auto_barrier: false,
+            barrier_wait: None,
+            finish: None,
+            stalled: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct L1State {
+    pub array: CacheArray,
+    /// Lines this L1 holds with write permission.
+    pub exclusive: HashSet<LineAddr>,
+}
+
+#[derive(Debug)]
+pub(crate) struct BankState {
+    pub array: CacheArray,
+    pub dir: pbm_cache::Directory,
+}
+
+/// The full simulated multicore (Figure 2) plus instrumentation.
+///
+/// Build one with [`System::new`], run it to completion with
+/// [`System::run`], then inspect [`SimStats`] and (in checking mode) the
+/// durable state at arbitrary crash points.
+#[derive(Debug)]
+pub struct System {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) sem: BarrierSemantics,
+    pub(crate) mesh: Mesh,
+    pub(crate) mcs: Vec<McTiming>,
+    pub(crate) nvram: NvramDevice,
+    pub(crate) log: UndoLog,
+    pub(crate) cores: Vec<CoreState>,
+    pub(crate) l1s: Vec<L1State>,
+    pub(crate) banks: Vec<BankState>,
+    pub(crate) arbiters: Vec<EpochArbiter>,
+    /// Architecturally-atomic spin locks: line -> holder.
+    pub(crate) locks: HashMap<LineAddr, CoreId>,
+    /// Cores parked until the given epoch persists.
+    pub(crate) waiters: HashMap<EpochTag, Vec<CoreId>>,
+    /// Pending flush-trigger attribution per core.
+    pub(crate) flush_reasons: Vec<BTreeMap<EpochId, FlushReason>>,
+    /// Flush start time per in-flight epoch (for the latency histogram).
+    pub(crate) flush_started: HashMap<EpochTag, Cycle>,
+    /// BSP: cycle by which an epoch's undo-log records are durable.
+    pub(crate) log_ready: HashMap<EpochTag, Cycle>,
+    pub(crate) queue: EventQueue,
+    pub(crate) now: Cycle,
+    pub(crate) token_seq: u64,
+    pub(crate) checker: Option<ConsistencyChecker>,
+    pub(crate) stats: SimStats,
+}
+
+impl System {
+    /// Builds a system running `programs[i]` on core `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is inconsistent or
+    /// there are more programs than cores (missing programs run empty).
+    pub fn new(cfg: SystemConfig, mut programs: Vec<Program>) -> Result<Self, ConfigError> {
+        let cfg = cfg.validate()?;
+        if programs.len() > cfg.cores {
+            return Err(ConfigError::ZeroCount {
+                what: "cores (fewer cores than programs)",
+            });
+        }
+        programs.resize_with(cfg.cores, Program::empty);
+        let mesh = Mesh::new(&cfg);
+        let mcs = (0..cfg.mcs)
+            .map(|_| {
+                McTiming::new(
+                    cfg.mc_parallelism,
+                    cfg.nvram_read_latency,
+                    cfg.nvram_write_latency,
+                )
+            })
+            .collect();
+        let bank_shift = (cfg.llc_banks as u64).trailing_zeros();
+        let l1s = (0..cfg.cores)
+            .map(|_| L1State {
+                array: CacheArray::new(cfg.l1_sets(), cfg.l1_assoc, 0),
+                exclusive: HashSet::new(),
+            })
+            .collect();
+        let banks = (0..cfg.llc_banks)
+            .map(|_| BankState {
+                array: CacheArray::new(cfg.llc_sets(), cfg.llc_assoc, bank_shift),
+                dir: pbm_cache::Directory::new(),
+            })
+            .collect();
+        let arbiters = (0..cfg.cores)
+            .map(|i| EpochArbiter::new(CoreId::new(i as u32), &cfg))
+            .collect();
+        let sem = BarrierSemantics::for_model(cfg.persistency, cfg.bsp_epoch_size);
+        Ok(System {
+            sem,
+            mesh,
+            mcs,
+            nvram: NvramDevice::new(),
+            log: UndoLog::new(),
+            cores: programs.into_iter().map(CoreState::new).collect(),
+            l1s,
+            banks,
+            arbiters,
+            locks: HashMap::new(),
+            waiters: HashMap::new(),
+            flush_reasons: vec![BTreeMap::new(); cfg.cores],
+            flush_started: HashMap::new(),
+            log_ready: HashMap::new(),
+            queue: EventQueue::new(),
+            now: Cycle::ZERO,
+            token_seq: 1,
+            checker: None,
+            stats: SimStats::new(),
+            cfg,
+        })
+    }
+
+    /// Enables crash-consistency instrumentation: the NVRAM journals every
+    /// durable write and the [`ConsistencyChecker`] records every committed
+    /// store and inter-thread dependence. Call before [`System::run`].
+    pub fn enable_checking(&mut self) {
+        self.nvram = NvramDevice::with_history();
+        self.checker = Some(ConsistencyChecker::new());
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// True when the configuration buffers epochs (lazy barrier variants).
+    pub(crate) fn epochs_enabled(&self) -> bool {
+        self.cfg.barrier.is_buffered()
+    }
+
+    /// True if stores to `line` get an epoch tag under this configuration.
+    pub(crate) fn is_tagged_line(&self, line: LineAddr) -> bool {
+        self.epochs_enabled()
+            && (self.sem.needs_logging() // BSP: whole-execution persistence
+                || line.base().as_u64() < VOLATILE_BASE)
+    }
+
+    /// The LLC bank owning `line`.
+    pub(crate) fn bank_of(&self, line: LineAddr) -> BankId {
+        BankId::new((line.as_u64() % self.cfg.llc_banks as u64) as u32)
+    }
+
+    /// Mints a globally unique store token carrying `value` in its low
+    /// 24 bits.
+    pub(crate) fn mint_token(&mut self, value: u32) -> LineValue {
+        let t = (self.token_seq << 24) | u64::from(value & 0x00FF_FFFF);
+        self.token_seq += 1;
+        t
+    }
+
+    /// Extracts the application value from a store token.
+    pub fn token_value(token: LineValue) -> u32 {
+        (token & 0x00FF_FFFF) as u32
+    }
+
+    /// Runs every core's program to completion (including the final epoch
+    /// drain) and returns the aggregated statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation wedges (a core is parked on an epoch whose
+    /// flush never completes) — that is a protocol bug, not a workload
+    /// condition.
+    pub fn run(&mut self) -> SimStats {
+        for i in 0..self.cores.len() {
+            self.queue.schedule(Cycle::ZERO, Event::Step(CoreId::new(i as u32)));
+        }
+        self.drain_queue();
+        let unfinished: Vec<usize> = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.finish.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            unfinished.is_empty(),
+            "simulation wedged at {} with cores {unfinished:?} unfinished",
+            self.now
+        );
+        self.drain_epochs();
+        self.finalize_stats();
+        self.stats.clone()
+    }
+
+    fn drain_queue(&mut self) {
+        let mut processed: u64 = 0;
+        let budget = self.event_budget();
+        while let Some((t, ev)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.mesh.advance_to(t);
+            processed += 1;
+            if processed > budget {
+                panic!(
+                    "event budget exceeded at {} — livelock suspected\n{}",
+                    self.now,
+                    self.debug_state()
+                );
+            }
+            match ev {
+                Event::Step(core) => self.step_core(core),
+                Event::BankAck(core, epoch) => {
+                    let actions = self.arbiters[core.index()].bank_ack(epoch);
+                    self.apply_actions(core, actions);
+                    // The next epoch of this core may have stalled on IDT
+                    // sources; make sure those sources are asked to flush.
+                    self.propagate_dependence_demand(core);
+                }
+            }
+        }
+    }
+
+    /// A generous livelock watchdog: no healthy run needs more than this
+    /// many events (ops x constant factor plus lock-spin slack).
+    fn event_budget(&self) -> u64 {
+        let ops: u64 = self
+            .cores
+            .iter()
+            .map(|c| c.program.len() as u64)
+            .sum::<u64>()
+            .max(1);
+        ops * 2_000 + 10_000_000
+    }
+
+    /// One-line-per-core diagnostic dump for wedge/livelock panics.
+    fn debug_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (i, c) in self.cores.iter().enumerate() {
+            let arb = &self.arbiters[i];
+            let _ = writeln!(
+                s,
+                "C{i}: pc={}/{} stalled={:?} phase={:?} current={} frontier={:?} deps={:?}",
+                c.pc,
+                c.program.len(),
+                c.stalled,
+                arb.phase(),
+                arb.ledger().current(),
+                arb.ledger().first_unpersisted(),
+                match arb.phase() {
+                    pbm_core::FlushPhase::WaitingDeps(e) => arb.idt().sources_of(e).to_vec(),
+                    _ => Vec::new(),
+                },
+            );
+        }
+        let _ = writeln!(s, "waiters: {:?}", self.waiters.keys().collect::<Vec<_>>());
+        let _ = writeln!(s, "locks: {:?}", self.locks);
+        s
+    }
+
+    /// After all cores retire, flush every remaining epoch so the durable
+    /// state is complete (counted under [`FlushReason::Drain`]).
+    fn drain_epochs(&mut self) {
+        if !self.epochs_enabled() {
+            return;
+        }
+        for i in 0..self.cores.len() {
+            let core = CoreId::new(i as u32);
+            // Close the ongoing epoch if it dirtied anything.
+            let tag = self.arbiters[i].ledger().current_tag();
+            let has_lines = self.l1s[i].array.epoch_len(tag) > 0
+                || self
+                    .banks
+                    .iter()
+                    .any(|b| b.array.epoch_len(tag) > 0);
+            if has_lines {
+                self.arbiters[i].barrier();
+            }
+            if let Some(frontier) = self.arbiters[i].ledger().first_unpersisted() {
+                let last_completed = self.arbiters[i].ledger().current().prev();
+                if let Some(last) = last_completed {
+                    if frontier <= last {
+                        self.request_flush(core, last, FlushReason::Drain);
+                    }
+                }
+            }
+        }
+        self.drain_queue();
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.cycles = self
+            .cores
+            .iter()
+            .filter_map(|c| c.finish)
+            .map(Cycle::as_u64)
+            .max()
+            .unwrap_or(0);
+        self.stats.noc_messages = self.mesh.message_count();
+        self.stats.noc_flits = self.mesh.flit_count();
+        for arb in &self.arbiters {
+            self.stats.deadlock_splits += arb.split_count();
+            self.stats.idt_recorded += arb.idt().recorded_count();
+            self.stats.idt_overflows += arb.idt().overflow_count();
+            self.stats.epochs_created += arb.ledger().completed_count();
+        }
+    }
+
+    /// Durable NVRAM state restricted to the persistent region, at `at`.
+    /// Requires [`System::enable_checking`] before the run.
+    pub fn persistent_snapshot_at(&self, at: Cycle) -> DurableSnapshot {
+        let snap = self.nvram.snapshot_at(at);
+        let lines: HashMap<LineAddr, LineValue> = snap
+            .iter()
+            .filter(|(l, _)| l.base().as_u64() < VOLATILE_BASE || self.sem.needs_logging())
+            .collect();
+        DurableSnapshot::new(lines, at)
+    }
+
+    /// The consistency checker journal (populated when checking was
+    /// enabled).
+    pub fn checker(&self) -> Option<&ConsistencyChecker> {
+        self.checker.as_ref()
+    }
+
+    /// Per-core retirement times of the last run (None = never finished).
+    pub fn finish_times(&self) -> Vec<Option<Cycle>> {
+        self.cores.iter().map(|c| c.finish).collect()
+    }
+
+    /// NoC head-flit queueing per virtual network (congestion diagnostic).
+    pub fn noc_wait_cycles(&self) -> [u64; 3] {
+        self.mesh.wait_cycles()
+    }
+
+    /// The undo log (BSP bulk mode).
+    pub fn undo_log(&self) -> &UndoLog {
+        &self.log
+    }
+
+    /// Durable value of `line` right now (post-run inspection).
+    pub fn durable_line(&self, line: LineAddr) -> Option<LineValue> {
+        self.nvram.peek(line)
+    }
+
+    /// Initializes durable memory before the run: the line containing
+    /// `addr` holds a token carrying `value`, durable at cycle 0, and a
+    /// clean copy is installed in its LLC bank (warm start — the paper's
+    /// workloads run to completion from a warmed cache, so cold compulsory
+    /// misses should not dominate). Workloads use this to lay out
+    /// pre-existing persistent data structures.
+    pub fn preload(&mut self, addr: Addr, value: u32) {
+        let line = addr.line();
+        let token = self.mint_token(value);
+        self.nvram.persist(line, token, Cycle::ZERO);
+        let bank = self.bank_of(line);
+        let bi = bank.index();
+        if !self.banks[bi].array.contains(line) {
+            // Room is guaranteed unless a workload preloads more than the
+            // LLC holds; fall back to leaving the line in NVRAM only.
+            if matches!(
+                self.banks[bi].array.victim_for(line),
+                pbm_cache::VictimChoice::Room
+            ) {
+                self.banks[bi]
+                    .array
+                    .install(pbm_cache::CacheLine::clean(line, token));
+            }
+        }
+        if let Some(ck) = self.checker.as_mut() {
+            ck.record_initial(line, token);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Core stepping
+    // ------------------------------------------------------------------
+
+    fn step_core(&mut self, core: CoreId) {
+        let i = core.index();
+        if self.cores[i].finish.is_some() {
+            return;
+        }
+        // Account a stall that just ended.
+        if let Some((since, kind)) = self.cores[i].stalled.take() {
+            let waited = self.now.saturating_sub(since).as_u64();
+            match kind {
+                StallKind::OnlinePersist => self.stats.online_persist_stall_cycles += waited,
+                StallKind::Barrier => self.stats.barrier_stall_cycles += waited,
+            }
+        }
+        // A hardware epoch cut is due before anything else.
+        if self.cores[i].pending_auto_barrier {
+            match self.exec_barrier(core) {
+                BarrierOutcome::Done(at) => {
+                    self.cores[i].pending_auto_barrier = false;
+                    self.queue.schedule(at, Event::Step(core));
+                }
+                BarrierOutcome::Blocked => {}
+            }
+            return;
+        }
+        let Some(&op) = self.cores[i].program.ops().get(self.cores[i].pc) else {
+            self.cores[i].finish = Some(self.now);
+            return;
+        };
+        match self.exec_op(core, op) {
+            StepOutcome::Next(at) => {
+                self.cores[i].pc += 1;
+                self.queue.schedule(at, Event::Step(core));
+            }
+            StepOutcome::RetryAt(at) => {
+                self.queue.schedule(at, Event::Step(core));
+            }
+            StepOutcome::Blocked => {
+                // Parked; a persist wakeup will reschedule the Step.
+            }
+        }
+    }
+
+    fn exec_op(&mut self, core: CoreId, op: Op) -> StepOutcome {
+        let now = self.now;
+        match op {
+            Op::Compute(cycles) => StepOutcome::Next(now + u64::from(cycles)),
+            Op::TxEnd => {
+                self.stats.transactions += 1;
+                StepOutcome::Next(now + 1)
+            }
+            Op::Load(addr) => {
+                match self.do_access(core, addr.line(), None) {
+                    crate::access::Access::Done { at } => {
+                        self.stats.loads += 1;
+                        self.stats.load_cycles += (at - now).as_u64();
+                        #[cfg(feature = "trace-loads")]
+                        if (at - now).as_u64() > 500 {
+                            eprintln!(
+                                "slow load: core={core} line={} lat={}",
+                                addr.line(),
+                                (at - now).as_u64()
+                            );
+                        }
+                        StepOutcome::Next(at)
+                    }
+                    crate::access::Access::Blocked { tag } => {
+                        self.park(core, tag, StallKind::OnlinePersist);
+                        StepOutcome::Blocked
+                    }
+                }
+            }
+            Op::Store(addr, value) => self.exec_store(core, addr, value),
+            Op::Barrier => match self.exec_barrier(core) {
+                BarrierOutcome::Done(at) => StepOutcome::Next(at),
+                BarrierOutcome::Blocked => StepOutcome::Blocked,
+            },
+            Op::Lock(addr) => self.exec_lock(core, addr),
+            Op::Unlock(addr) => self.exec_unlock(core, addr),
+        }
+    }
+
+    fn exec_store(&mut self, core: CoreId, addr: Addr, value: u32) -> StepOutcome {
+        let i = core.index();
+        let now = self.now;
+        // Write-buffer occupancy.
+        while let Some(&Reverse(t)) = self.cores[i].wb.peek() {
+            if Cycle::new(t) <= now {
+                self.cores[i].wb.pop();
+            } else {
+                break;
+            }
+        }
+        if self.cores[i].wb.len() >= self.cfg.write_buffer {
+            let Reverse(first_free) = *self.cores[i].wb.peek().expect("buffer nonempty");
+            return StepOutcome::RetryAt(Cycle::new(first_free));
+        }
+        match self.do_access(core, addr.line(), Some(value)) {
+            crate::access::Access::Done { at } => {
+                self.stats.stores += 1;
+                if self.cfg.barrier == BarrierKind::WriteThrough {
+                    // Strict persistency rule S2: the core may not proceed
+                    // until this store is durable.
+                    return StepOutcome::Next(at);
+                }
+                self.cores[i].wb.push(Reverse(at.as_u64()));
+                self.cores[i].epoch_stores += 1;
+                if let Some(cut) = self.sem.hardware_epoch_size() {
+                    if self.cores[i].epoch_stores >= cut {
+                        self.cores[i].pending_auto_barrier = true;
+                    }
+                }
+                StepOutcome::Next(now + 1)
+            }
+            crate::access::Access::Blocked { tag } => {
+                self.park(core, tag, StallKind::OnlinePersist);
+                StepOutcome::Blocked
+            }
+        }
+    }
+
+    pub(crate) fn exec_barrier(&mut self, core: CoreId) -> BarrierOutcome {
+        let i = core.index();
+        if !self.epochs_enabled() {
+            // NP / write-through: a barrier is a no-op (WT is already
+            // strictly ordered).
+            self.stats.barriers += 1;
+            return BarrierOutcome::Done(self.now + 1);
+        }
+        // Resuming an EP-stalled barrier: the epoch was already closed.
+        if let Some(e) = self.cores[i].barrier_wait {
+            if self.arbiters[i].is_persisted(e) {
+                self.cores[i].barrier_wait = None;
+                return BarrierOutcome::Done(self.now + 1);
+            }
+            let tag = EpochTag::new(core, e);
+            self.park(core, tag, StallKind::Barrier);
+            return BarrierOutcome::Blocked;
+        }
+        let ledger = self.arbiters[i].ledger();
+        if ledger.inflight() >= self.cfg.inflight_epochs {
+            // 3-bit epoch-id window is full: wait for the frontier epoch.
+            let frontier = ledger.first_unpersisted().expect("window full");
+            let tag = EpochTag::new(core, frontier);
+            self.request_flush(core, frontier, FlushReason::BackPressure);
+            self.park(core, tag, StallKind::Barrier);
+            return BarrierOutcome::Blocked;
+        }
+        let closed = self.arbiters[i].barrier();
+        self.stats.barriers += 1;
+        self.cores[i].epoch_stores = 0;
+        if self.sem.barrier_stalls() {
+            // EP rule E2: the barrier itself waits for the epoch.
+            let tag = EpochTag::new(core, closed);
+            self.request_flush(core, closed, FlushReason::Barrier);
+            if !self.arbiters[i].is_persisted(closed) {
+                self.cores[i].barrier_wait = Some(closed);
+                self.park(core, tag, StallKind::Barrier);
+                return BarrierOutcome::Blocked;
+            }
+        } else if self.cfg.barrier.has_pf() {
+            // Proactive flushing: start persisting the completed epoch now.
+            self.request_flush(core, closed, FlushReason::Proactive);
+        }
+        BarrierOutcome::Done(self.now + 1)
+    }
+
+    fn exec_lock(&mut self, core: CoreId, addr: Addr) -> StepOutcome {
+        let line = addr.line();
+        match self.locks.get(&line) {
+            Some(holder) if *holder != core => {
+                // Spin locally, retry with a deterministic per-core backoff.
+                let backoff = 30 + (u64::from(core.as_u32()) * 7) % 50;
+                self.stats.lock_wait_cycles += backoff;
+                StepOutcome::RetryAt(self.now + backoff)
+            }
+            _ => {
+                // Free, or already held by us (retry after a blocked fill).
+                self.locks.insert(line, core);
+                match self.do_access(core, line, Some(1)) {
+                    crate::access::Access::Done { at } => {
+                        self.stats.stores += 1;
+                        StepOutcome::Next(at)
+                    }
+                    crate::access::Access::Blocked { tag } => {
+                        self.park(core, tag, StallKind::OnlinePersist);
+                        StepOutcome::Blocked
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_unlock(&mut self, core: CoreId, addr: Addr) -> StepOutcome {
+        let line = addr.line();
+        let holder = self.locks.remove(&line);
+        debug_assert_eq!(holder, Some(core), "unlock of a lock we don't hold");
+        match self.do_access(core, line, Some(0)) {
+            crate::access::Access::Done { .. } => {
+                self.stats.stores += 1;
+                StepOutcome::Next(self.now + 1)
+            }
+            crate::access::Access::Blocked { tag } => {
+                self.park(core, tag, StallKind::OnlinePersist);
+                StepOutcome::Blocked
+            }
+        }
+    }
+
+    /// Parks `core` until `tag` persists (the flush request must already be
+    /// in flight — [`Self::request_flush`] arranges that).
+    pub(crate) fn park(&mut self, core: CoreId, tag: EpochTag, kind: StallKind) {
+        debug_assert!(
+            !self.arbiters[tag.core.index()].is_persisted(tag.epoch),
+            "parking on an already-persisted epoch"
+        );
+        self.stats.parks += 1;
+        self.cores[core.index()].stalled = Some((self.now, kind));
+        self.waiters.entry(tag).or_default().push(core);
+    }
+}
+
+/// Outcome of executing one op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepOutcome {
+    Next(Cycle),
+    RetryAt(Cycle),
+    Blocked,
+}
+
+/// Outcome of a (possibly hardware-inserted) persist barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BarrierOutcome {
+    Done(Cycle),
+    Blocked,
+}

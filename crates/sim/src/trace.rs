@@ -1,0 +1,195 @@
+//! A plain-text trace format for programs: one operation per line.
+//!
+//! Lets users capture, edit and replay per-core traces without pulling in
+//! a serialization framework:
+//!
+//! ```text
+//! # comment
+//! L 0x40        # load
+//! S 0x80 7      # store value 7
+//! B             # persist barrier
+//! C 120         # compute 120 cycles
+//! K 0x10000000000   # lock
+//! U 0x10000000000   # unlock
+//! T             # transaction end
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use pbm_sim::{Program, ProgramBuilder};
+//! use pbm_types::Addr;
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.store(Addr::new(64), 7).barrier();
+//! let p = b.build();
+//! let text = p.to_trace_string();
+//! let back = Program::from_trace_str(&text)?;
+//! assert_eq!(p.ops(), back.ops());
+//! # Ok::<(), pbm_sim::TraceParseError>(())
+//! ```
+
+use crate::op::{Op, Program};
+use pbm_types::Addr;
+use std::error::Error;
+use std::fmt;
+
+/// A trace line could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for TraceParseError {}
+
+impl Program {
+    /// Renders the program in the line-per-op trace format.
+    pub fn to_trace_string(&self) -> String {
+        let mut out = String::new();
+        for op in self.ops() {
+            match op {
+                Op::Load(a) => out.push_str(&format!("L {:#x}\n", a.as_u64())),
+                Op::Store(a, v) => out.push_str(&format!("S {:#x} {v}\n", a.as_u64())),
+                Op::Barrier => out.push_str("B\n"),
+                Op::Compute(c) => out.push_str(&format!("C {c}\n")),
+                Op::Lock(a) => out.push_str(&format!("K {:#x}\n", a.as_u64())),
+                Op::Unlock(a) => out.push_str(&format!("U {:#x}\n", a.as_u64())),
+                Op::TxEnd => out.push_str("T\n"),
+            }
+        }
+        out
+    }
+
+    /// Parses a trace. Blank lines and `#` comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceParseError`] naming the offending line.
+    pub fn from_trace_str(text: &str) -> Result<Program, TraceParseError> {
+        let mut ops = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let mut parts = content.split_whitespace();
+            let kind = parts.next().expect("nonempty");
+            let err = |message: String| TraceParseError { line, message };
+            let parse_addr = |s: Option<&str>| -> Result<Addr, TraceParseError> {
+                let s = s.ok_or_else(|| err("missing address".into()))?;
+                let v = if let Some(hex) = s.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    s.parse()
+                };
+                v.map(Addr::new)
+                    .map_err(|e| err(format!("bad address {s}: {e}")))
+            };
+            let op = match kind {
+                "L" => Op::Load(parse_addr(parts.next())?),
+                "S" => {
+                    let a = parse_addr(parts.next())?;
+                    let v = parts
+                        .next()
+                        .ok_or_else(|| err("missing store value".into()))?
+                        .parse()
+                        .map_err(|e| err(format!("bad store value: {e}")))?;
+                    Op::Store(a, v)
+                }
+                "B" => Op::Barrier,
+                "C" => Op::Compute(
+                    parts
+                        .next()
+                        .ok_or_else(|| err("missing cycle count".into()))?
+                        .parse()
+                        .map_err(|e| err(format!("bad cycle count: {e}")))?,
+                ),
+                "K" => Op::Lock(parse_addr(parts.next())?),
+                "U" => Op::Unlock(parse_addr(parts.next())?),
+                "T" => Op::TxEnd,
+                other => return Err(err(format!("unknown op kind {other:?}"))),
+            };
+            if let Some(junk) = parts.next() {
+                return Err(err(format!("trailing token {junk:?}")));
+            }
+            ops.push(op);
+        }
+        Ok(ops.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_every_op_kind() {
+        let text = "\
+# a queue insert
+K 0x10000000000
+L 0x1000
+S 0x0 7
+S 0x40 8
+B
+S 0x1000 1   # head pointer
+B
+U 0x10000000000
+C 100
+T
+";
+        let p = Program::from_trace_str(text).expect("parses");
+        assert_eq!(p.len(), 10);
+        let round = Program::from_trace_str(&p.to_trace_string()).expect("parses");
+        assert_eq!(p.ops(), round.ops());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = Program::from_trace_str("B\nX 12\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown op kind"));
+        let e = Program::from_trace_str("S 0x40\n").unwrap_err();
+        assert!(e.message.contains("missing store value"));
+        let e = Program::from_trace_str("L 0x40 junk\n").unwrap_err();
+        assert!(e.message.contains("trailing token"));
+        let e = Program::from_trace_str("C notanumber\n").unwrap_err();
+        assert!(e.message.contains("bad cycle count"));
+    }
+
+    #[test]
+    fn decimal_addresses_accepted() {
+        let p = Program::from_trace_str("L 64\n").expect("parses");
+        assert_eq!(p.ops()[0], Op::Load(Addr::new(64)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(ops in proptest::collection::vec(
+            prop_oneof![
+                (0u64..1 << 41).prop_map(|a| Op::Load(Addr::new(a))),
+                ((0u64..1 << 41), any::<u32>()).prop_map(|(a, v)| Op::Store(Addr::new(a), v)),
+                Just(Op::Barrier),
+                any::<u32>().prop_map(Op::Compute),
+                (0u64..1 << 41).prop_map(|a| Op::Lock(Addr::new(a))),
+                (0u64..1 << 41).prop_map(|a| Op::Unlock(Addr::new(a))),
+                Just(Op::TxEnd),
+            ],
+            0..60,
+        )) {
+            let p: Program = ops.into_iter().collect();
+            let round = Program::from_trace_str(&p.to_trace_string()).expect("parses");
+            prop_assert_eq!(p.ops(), round.ops());
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Synthetic proxies for the PARSEC / SPLASH-2 / STAMP applications used
+//! in the paper's BSP evaluation (Figures 13 and 14).
+//!
+//! The real benchmarks cannot run on this simulator (no ISA, no OS), and
+//! BSP bulk-mode results depend only on the *memory behaviour* of the
+//! application: store rate, store locality (coalescing opportunity), the
+//! size of the working set (natural eviction rate) and the degree and
+//! granularity of inter-thread sharing (inter-thread conflicts — 86% of
+//! all conflicts in the paper's measurements). Each proxy is therefore a
+//! seeded random-traffic generator with a per-application profile matched
+//! to the published characterization of its namesake:
+//!
+//! | app      | suite    | profile highlights                                   |
+//! |----------|----------|------------------------------------------------------|
+//! | canneal  | PARSEC   | huge working set, random pointer chasing, low sharing |
+//! | dedup    | PARSEC   | pipeline stages, medium sharing, write-heavy bursts   |
+//! | freqmine | PARSEC   | read-dominated tree mining, low sharing               |
+//! | barnes   | SPLASH-2 | octree walks, read-mostly with update phases          |
+//! | cholesky | SPLASH-2 | blocked factorization, high locality, private writes  |
+//! | radix    | SPLASH-2 | streaming permutation writes, very high locality      |
+//! | intruder | STAMP    | shared queues/maps, high contention                   |
+//! | ssca2    | STAMP    | graph kernel: write-intensive, fine-grained sharing   |
+//! | vacation | STAMP    | travel DB transactions, moderate sharing              |
+
+use crate::heap::{HeapRegion, PersistentHeap};
+use crate::Workload;
+use pbm_sim::ProgramBuilder;
+use pbm_types::{Addr, LINE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale parameters shared by all proxies.
+#[derive(Debug, Clone)]
+pub struct AppParams {
+    /// Worker threads (one per core).
+    pub threads: usize,
+    /// Memory operations per thread.
+    pub ops_per_thread: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AppParams {
+    /// Paper-scale: 32 threads.
+    pub fn paper() -> Self {
+        AppParams {
+            threads: 32,
+            ops_per_thread: 8_000,
+            seed: 0x00AA_5EED,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        AppParams {
+            threads: 2,
+            ops_per_thread: 300,
+            seed: 0xbeef,
+        }
+    }
+}
+
+/// The memory-behaviour profile of one application proxy.
+#[derive(Debug, Clone, Copy)]
+pub struct AppProfile {
+    /// Workload name (matches the paper's figures).
+    pub name: &'static str,
+    /// Fraction of memory operations that are stores.
+    pub write_ratio: f64,
+    /// Probability an access targets the shared region.
+    pub shared_fraction: f64,
+    /// Per-thread private working set, in cache lines.
+    pub private_lines: u64,
+    /// Shared region size, in cache lines.
+    pub shared_lines: u64,
+    /// Probability of re-touching one of the last few lines (coalescing /
+    /// cache locality).
+    pub locality: f64,
+    /// Compute cycles between memory operations.
+    pub compute_per_op: u32,
+}
+
+/// The nine profiles, in the paper's plotting order.
+pub const PROFILES: [AppProfile; 9] = [
+    AppProfile {
+        name: "canneal",
+        write_ratio: 0.45,
+        shared_fraction: 0.03,
+        private_lines: 16384,
+        shared_lines: 16384,
+        locality: 0.5,
+        compute_per_op: 10,
+    },
+    AppProfile {
+        name: "dedup",
+        write_ratio: 0.55,
+        shared_fraction: 0.04,
+        private_lines: 4096,
+        shared_lines: 8192,
+        locality: 0.68,
+        compute_per_op: 14,
+    },
+    AppProfile {
+        name: "freqmine",
+        write_ratio: 0.3,
+        shared_fraction: 0.02,
+        private_lines: 4096,
+        shared_lines: 8192,
+        locality: 0.72,
+        compute_per_op: 10,
+    },
+    AppProfile {
+        name: "barnes",
+        write_ratio: 0.4,
+        shared_fraction: 0.04,
+        private_lines: 2048,
+        shared_lines: 8192,
+        locality: 0.68,
+        compute_per_op: 12,
+    },
+    AppProfile {
+        name: "cholesky",
+        write_ratio: 0.5,
+        shared_fraction: 0.015,
+        private_lines: 4096,
+        shared_lines: 8192,
+        locality: 0.75,
+        compute_per_op: 10,
+    },
+    AppProfile {
+        name: "radix",
+        write_ratio: 0.65,
+        shared_fraction: 0.008,
+        private_lines: 8192,
+        shared_lines: 8192,
+        locality: 0.85,
+        compute_per_op: 12,
+    },
+    AppProfile {
+        name: "intruder",
+        write_ratio: 0.55,
+        shared_fraction: 0.06,
+        private_lines: 1024,
+        shared_lines: 2048,
+        locality: 0.65,
+        compute_per_op: 16,
+    },
+    AppProfile {
+        name: "ssca2",
+        write_ratio: 0.7,
+        shared_fraction: 0.045,
+        private_lines: 2048,
+        shared_lines: 4096,
+        locality: 0.5,
+        compute_per_op: 24,
+    },
+    AppProfile {
+        name: "vacation",
+        write_ratio: 0.45,
+        shared_fraction: 0.05,
+        private_lines: 2048,
+        shared_lines: 8192,
+        locality: 0.68,
+        compute_per_op: 12,
+    },
+];
+
+/// Builds the proxy for `profile` at the given scale. No persist barriers
+/// are emitted: under BSP bulk mode the hardware cuts epochs.
+pub fn build(profile: &AppProfile, params: &AppParams) -> Workload {
+    let mut heap = PersistentHeap::new();
+    let shared_base = heap.alloc(
+        HeapRegion::Persistent,
+        profile.shared_lines * LINE_SIZE,
+    );
+    let private_bases: Vec<Addr> = (0..params.threads)
+        .map(|_| heap.alloc(HeapRegion::Persistent, profile.private_lines * LINE_SIZE))
+        .collect();
+
+    let mut programs = Vec::with_capacity(params.threads);
+    for (t, private_base) in private_bases.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(params.seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+        let mut b = ProgramBuilder::new();
+        // A 64-line reuse window: repeated stores to recently-touched
+        // lines coalesce in the cache, and the bigger the hardware epoch,
+        // the more of them collapse into one flush (Figure 13's lever).
+        let mut recent: Vec<Addr> = Vec::with_capacity(64);
+        for op in 0..params.ops_per_thread {
+            let addr = if !recent.is_empty() && rng.gen_bool(profile.locality) {
+                recent[rng.gen_range(0..recent.len())]
+            } else if rng.gen_bool(profile.shared_fraction) {
+                shared_base.offset(rng.gen_range(0..profile.shared_lines) * LINE_SIZE)
+            } else {
+                private_base.offset(rng.gen_range(0..profile.private_lines) * LINE_SIZE)
+            };
+            if recent.len() == 64 {
+                recent.remove(0);
+            }
+            recent.push(addr);
+            if rng.gen_bool(profile.write_ratio) {
+                b.store(addr, op as u32);
+            } else {
+                b.load(addr);
+            }
+            if profile.compute_per_op > 0 {
+                b.compute(profile.compute_per_op);
+            }
+        }
+        b.tx_end();
+        programs.push(b.build());
+    }
+
+    Workload {
+        name: profile.name,
+        programs,
+        preloads: Vec::new(),
+    }
+}
+
+/// Looks a profile up by name.
+pub fn profile(name: &str) -> Option<&'static AppProfile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+/// All nine proxies at the given scale, in the paper's plotting order.
+pub fn all(params: &AppParams) -> Vec<Workload> {
+    PROFILES.iter().map(|p| build(p, params)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_profiles_in_paper_order() {
+        let names: Vec<_> = PROFILES.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "canneal", "dedup", "freqmine", "barnes", "cholesky", "radix", "intruder",
+                "ssca2", "vacation"
+            ]
+        );
+    }
+
+    #[test]
+    fn ssca2_is_the_most_write_and_share_intensive() {
+        let ssca2 = profile("ssca2").unwrap();
+        for p in &PROFILES {
+            assert!(
+                ssca2.write_ratio >= p.write_ratio,
+                "ssca2 must be the most write-intensive (vs {})",
+                p.name
+            );
+            assert!(
+                ssca2.shared_fraction * 1.5 >= p.shared_fraction,
+                "ssca2 must be among the most share-intensive (vs {})",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn build_respects_write_ratio() {
+        let params = AppParams {
+            threads: 1,
+            ops_per_thread: 2000,
+            seed: 7,
+        };
+        let prof = profile("radix").unwrap();
+        let wl = build(prof, &params);
+        let stores = wl.total_stores() as f64;
+        let ratio = stores / 2000.0;
+        assert!(
+            (ratio - prof.write_ratio).abs() < 0.05,
+            "measured write ratio {ratio} too far from profile {}",
+            prof.write_ratio
+        );
+    }
+
+    #[test]
+    fn private_regions_do_not_overlap() {
+        let params = AppParams::tiny();
+        let wl = build(profile("intruder").unwrap(), &params);
+        assert_eq!(wl.programs.len(), 2);
+        // Thread programs differ (different seeds, different regions).
+        assert_ne!(wl.programs[0].ops(), wl.programs[1].ops());
+    }
+
+    #[test]
+    fn lookup_unknown_is_none() {
+        assert!(profile("doom").is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! Workloads for the `pbm` persist-barrier study.
+//!
+//! Two families, mirroring §6 of the paper:
+//!
+//! * [`micro`] — persistent data-structure micro-benchmarks (Table 2:
+//!   hash, queue, rbtree, sdg, sps) with 512-byte entries and
+//!   programmer-inserted persist barriers, used to evaluate **BEP**. These
+//!   are real implementations: each generator *performs* the inserts/
+//!   deletes/searches against a simulated persistent heap and emits the
+//!   resulting loads, stores, locks and barriers.
+//! * [`apps`] — nine synthetic proxies for the PARSEC / SPLASH-2 / STAMP
+//!   applications of Figure 13/14, used to evaluate **BSP bulk mode**.
+//!   Each proxy is a parameterized memory-traffic generator matched to the
+//!   published memory character of its namesake (write intensity, sharing
+//!   degree, working-set size, locality); see the module docs for the
+//!   per-app mapping. Barriers are *not* emitted — BSP inserts them in
+//!   hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use pbm_workloads::micro::{self, MicroParams};
+//! use pbm_sim::System;
+//! use pbm_types::SystemConfig;
+//!
+//! let params = MicroParams { threads: 2, ops_per_thread: 4, ..MicroParams::tiny() };
+//! let wl = micro::queue(&params);
+//! let mut cfg = SystemConfig::small_test();
+//! cfg.cores = 2;
+//! cfg.llc_banks = 2;
+//! cfg.mcs = 2;
+//! let mut sys = System::new(cfg, wl.programs.clone()).expect("valid");
+//! wl.apply_preloads(&mut sys);
+//! let stats = sys.run();
+//! assert!(stats.transactions >= 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apps;
+mod heap;
+pub mod micro;
+mod workload;
+
+pub use heap::{HeapRegion, PersistentHeap};
+pub use workload::Workload;

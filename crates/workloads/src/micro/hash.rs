@@ -1,0 +1,166 @@
+//! Hash-table micro-benchmark: insert/delete/search over a bucketed table
+//! (the NVHeaps-style `hash` workload).
+
+use super::MicroParams;
+use crate::heap::{HeapRegion, PersistentHeap};
+use crate::Workload;
+use pbm_sim::ProgramBuilder;
+use pbm_types::Addr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SLOTS_PER_BUCKET: usize = 4;
+
+/// Builds the hash workload: each thread performs `ops_per_thread`
+/// transactions (50% insert, 25% delete, 25% search) on a shared table.
+///
+/// Transaction recipe (insert), following Figure 10's discipline:
+/// lock bucket → load bucket header → **epoch A**: write the 512-byte
+/// entry, barrier → **epoch B**: update the bucket header (slot bitmap),
+/// barrier → unlock. Deletes tombstone the entry in epoch A and update the
+/// header in epoch B; searches take only loads.
+pub fn hash(params: &MicroParams) -> Workload {
+    let mut heap = PersistentHeap::new();
+    let buckets = params.capacity.max(SLOTS_PER_BUCKET) / SLOTS_PER_BUCKET;
+    // Layout: per bucket, one header line + SLOTS_PER_BUCKET entries.
+    let (header_base, header_stride) = heap.alloc_array(HeapRegion::Persistent, 64, buckets as u64);
+    let (entry_base, entry_stride) = heap.alloc_array(
+        HeapRegion::Persistent,
+        params.entry_bytes,
+        (buckets * SLOTS_PER_BUCKET) as u64,
+    );
+    let (lock_base, lock_stride) = heap.alloc_array(HeapRegion::Volatile, 8, buckets as u64);
+
+    let header = |b: usize| Addr::new(header_base.as_u64() + b as u64 * header_stride);
+    let entry =
+        |b: usize, s: usize| Addr::new(entry_base.as_u64() + (b * SLOTS_PER_BUCKET + s) as u64 * entry_stride);
+    let lock = |b: usize| Addr::new(lock_base.as_u64() + b as u64 * lock_stride);
+
+    // Host-side mirror: slot occupancy per bucket.
+    let mut occupied = vec![[false; SLOTS_PER_BUCKET]; buckets];
+    let mut preloads = Vec::new();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Pre-populate to ~50%.
+    for (b, occ) in occupied.iter_mut().enumerate() {
+        let mut mask = 0u32;
+        for (s, slot) in occ.iter_mut().enumerate() {
+            if rng.gen_bool(0.5) {
+                *slot = true;
+                mask |= 1 << s;
+                let base = entry(b, s);
+                for l in 0..(params.entry_bytes / 64) {
+                    preloads.push((base.offset(l * 64), (b * 16 + s) as u32));
+                }
+            }
+        }
+        preloads.push((header(b), mask));
+    }
+
+    let mut builders: Vec<ProgramBuilder> = (0..params.threads)
+        .map(|_| ProgramBuilder::new())
+        .collect();
+
+    // Generate transactions in a global round-robin so the shared mirror
+    // assigns each insert a distinct slot.
+    let slice = (buckets / params.threads).max(1);
+    for op in 0..params.ops_per_thread {
+        for (t, b_prog) in builders.iter_mut().enumerate() {
+            // Mostly our own bucket slice (intra-thread reuse), sometimes
+            // anyone's (inter-thread sharing).
+            let b = if rng.gen_bool(params.partition_locality) {
+                (t * slice + rng.gen_range(0..slice)) % buckets
+            } else {
+                rng.gen_range(0..buckets)
+            };
+            let value = (op * params.threads + t) as u32;
+            let kind = rng.gen_range(0..4);
+            match kind {
+                0 | 1 => {
+                    // Insert into a free slot (fall back to overwrite if full).
+                    let slot = occupied[b]
+                        .iter()
+                        .position(|o| !o)
+                        .unwrap_or(rng.gen_range(0..SLOTS_PER_BUCKET));
+                    occupied[b][slot] = true;
+                    b_prog.lock(lock(b));
+                    b_prog.compute(params.work_cycles);
+                    b_prog.load(header(b));
+                    b_prog.store_span(entry(b, slot), params.entry_bytes, value);
+                    b_prog.barrier();
+                    b_prog.store(header(b), value);
+                    b_prog.barrier();
+                    b_prog.unlock(lock(b));
+                }
+                2 => {
+                    // Delete an occupied slot (no-op load if empty).
+                    match occupied[b].iter().position(|o| *o) {
+                        Some(slot) => {
+                            occupied[b][slot] = false;
+                            b_prog.lock(lock(b));
+                            b_prog.compute(params.work_cycles);
+                            b_prog.load(header(b));
+                            b_prog.store(entry(b, slot), u32::MAX); // tombstone
+                            b_prog.barrier();
+                            b_prog.store(header(b), value);
+                            b_prog.barrier();
+                            b_prog.unlock(lock(b));
+                        }
+                        None => {
+                            b_prog.load(header(b));
+                        }
+                    }
+                }
+                _ => {
+                    // Search: header + probe two slots.
+                    b_prog.load(header(b));
+                    let s = rng.gen_range(0..SLOTS_PER_BUCKET);
+                    b_prog.load(entry(b, s));
+                    b_prog.load(entry(b, (s + 1) % SLOTS_PER_BUCKET));
+                }
+            }
+            b_prog.compute(params.think_cycles);
+            b_prog.tx_end();
+        }
+    }
+
+    Workload {
+        name: "hash",
+        programs: builders.iter().map(ProgramBuilder::build).collect(),
+        preloads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_expected_shape() {
+        let params = MicroParams::tiny();
+        let wl = hash(&params);
+        assert_eq!(wl.programs.len(), params.threads);
+        assert!(wl.total_stores() > 0);
+        assert!(!wl.preloads.is_empty());
+        // Every program ends each transaction with TxEnd.
+        let tx: usize = wl
+            .programs
+            .iter()
+            .flat_map(|p| p.ops())
+            .filter(|o| matches!(o, pbm_sim::Op::TxEnd))
+            .count();
+        assert_eq!(tx, params.threads * params.ops_per_thread);
+    }
+
+    #[test]
+    fn entries_do_not_alias_headers() {
+        let params = MicroParams::tiny();
+        let wl = hash(&params);
+        // Preload addresses are unique per line.
+        let mut lines: Vec<u64> = wl.preloads.iter().map(|(a, _)| a.line().as_u64()).collect();
+        lines.sort_unstable();
+        let before = lines.len();
+        lines.dedup();
+        assert_eq!(before, lines.len(), "preload lines must be distinct");
+    }
+}

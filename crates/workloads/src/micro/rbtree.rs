@@ -1,0 +1,460 @@
+//! Red-black-tree micro-benchmark: insert/delete/search on a persistent
+//! red-black tree (the NVHeaps-style `rbtree` workload).
+//!
+//! The generator maintains a *real* red-black tree (arena-based, with the
+//! standard insert fixup: recolouring and rotations) as the host-side
+//! mirror. Every visited node costs a header load; every node whose
+//! colour/child/parent fields change during the fixup costs a header
+//! store; the new node's 512-byte payload is written in epoch A and the
+//! structural updates (pointers + colours) form epoch B, mirroring the
+//! data-then-commit discipline of Figure 10.
+
+use super::MicroParams;
+use crate::heap::{HeapRegion, PersistentHeap};
+use crate::Workload;
+use pbm_sim::ProgramBuilder;
+use pbm_types::Addr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Colour {
+    Red,
+    Black,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: u32,
+    colour: Colour,
+    parent: Option<usize>,
+    left: Option<usize>,
+    right: Option<usize>,
+    /// The node is logically deleted (tombstoned).
+    dead: bool,
+}
+
+/// The host-side red-black tree mirror. It records, per operation, which
+/// node indices were *visited* and which were *mutated*, so the generator
+/// can emit the corresponding loads and stores.
+#[derive(Debug, Default)]
+struct RbMirror {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    visited: Vec<usize>,
+    mutated: Vec<usize>,
+}
+
+impl RbMirror {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.visited.push(idx);
+    }
+
+    fn mutate(&mut self, idx: usize) {
+        if !self.mutated.contains(&idx) {
+            self.mutated.push(idx);
+        }
+    }
+
+    /// Standard BST descent; returns the parent for attachment (or the
+    /// matching node).
+    fn descend(&mut self, key: u32) -> (Option<usize>, bool) {
+        let mut cur = self.root;
+        let mut parent = None;
+        while let Some(c) = cur {
+            self.touch(c);
+            parent = Some(c);
+            if key == self.nodes[c].key {
+                return (Some(c), true);
+            }
+            cur = if key < self.nodes[c].key {
+                self.nodes[c].left
+            } else {
+                self.nodes[c].right
+            };
+        }
+        (parent, false)
+    }
+
+    fn rotate_left(&mut self, x: usize) {
+        let y = self.nodes[x].right.expect("rotate_left needs right child");
+        self.nodes[x].right = self.nodes[y].left;
+        if let Some(yl) = self.nodes[y].left {
+            self.nodes[yl].parent = Some(x);
+            self.mutate(yl);
+        }
+        self.nodes[y].parent = self.nodes[x].parent;
+        match self.nodes[x].parent {
+            None => self.root = Some(y),
+            Some(p) => {
+                if self.nodes[p].left == Some(x) {
+                    self.nodes[p].left = Some(y);
+                } else {
+                    self.nodes[p].right = Some(y);
+                }
+                self.mutate(p);
+            }
+        }
+        self.nodes[y].left = Some(x);
+        self.nodes[x].parent = Some(y);
+        self.mutate(x);
+        self.mutate(y);
+    }
+
+    fn rotate_right(&mut self, x: usize) {
+        let y = self.nodes[x].left.expect("rotate_right needs left child");
+        self.nodes[x].left = self.nodes[y].right;
+        if let Some(yr) = self.nodes[y].right {
+            self.nodes[yr].parent = Some(x);
+            self.mutate(yr);
+        }
+        self.nodes[y].parent = self.nodes[x].parent;
+        match self.nodes[x].parent {
+            None => self.root = Some(y),
+            Some(p) => {
+                if self.nodes[p].left == Some(x) {
+                    self.nodes[p].left = Some(y);
+                } else {
+                    self.nodes[p].right = Some(y);
+                }
+                self.mutate(p);
+            }
+        }
+        self.nodes[y].right = Some(x);
+        self.nodes[x].parent = Some(y);
+        self.mutate(x);
+        self.mutate(y);
+    }
+
+    /// Inserts `key`; returns the new node's index (or the existing one).
+    fn insert(&mut self, key: u32) -> usize {
+        self.visited.clear();
+        self.mutated.clear();
+        let (attach, found) = self.descend(key);
+        if found {
+            let idx = attach.expect("found implies node");
+            self.nodes[idx].dead = false;
+            self.mutate(idx);
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            key,
+            colour: Colour::Red,
+            parent: attach,
+            left: None,
+            right: None,
+            dead: false,
+        });
+        self.mutate(idx);
+        match attach {
+            None => self.root = Some(idx),
+            Some(p) => {
+                if key < self.nodes[p].key {
+                    self.nodes[p].left = Some(idx);
+                } else {
+                    self.nodes[p].right = Some(idx);
+                }
+                self.mutate(p);
+            }
+        }
+        self.insert_fixup(idx);
+        idx
+    }
+
+    /// CLRS insert fixup: recolouring and rotations.
+    fn insert_fixup(&mut self, mut z: usize) {
+        while let Some(p) = self.nodes[z].parent {
+            if self.nodes[p].colour != Colour::Red {
+                break;
+            }
+            let g = self.nodes[p].parent.expect("red node has a parent");
+            if Some(p) == self.nodes[g].left {
+                let uncle = self.nodes[g].right;
+                if uncle.is_some_and(|u| self.nodes[u].colour == Colour::Red) {
+                    let u = uncle.expect("checked");
+                    self.nodes[p].colour = Colour::Black;
+                    self.nodes[u].colour = Colour::Black;
+                    self.nodes[g].colour = Colour::Red;
+                    self.mutate(p);
+                    self.mutate(u);
+                    self.mutate(g);
+                    z = g;
+                } else {
+                    if Some(z) == self.nodes[p].right {
+                        z = p;
+                        self.rotate_left(z);
+                    }
+                    let p2 = self.nodes[z].parent.expect("rotated");
+                    let g2 = self.nodes[p2].parent.expect("rotated");
+                    self.nodes[p2].colour = Colour::Black;
+                    self.nodes[g2].colour = Colour::Red;
+                    self.mutate(p2);
+                    self.mutate(g2);
+                    self.rotate_right(g2);
+                }
+            } else {
+                let uncle = self.nodes[g].left;
+                if uncle.is_some_and(|u| self.nodes[u].colour == Colour::Red) {
+                    let u = uncle.expect("checked");
+                    self.nodes[p].colour = Colour::Black;
+                    self.nodes[u].colour = Colour::Black;
+                    self.nodes[g].colour = Colour::Red;
+                    self.mutate(p);
+                    self.mutate(u);
+                    self.mutate(g);
+                    z = g;
+                } else {
+                    if Some(z) == self.nodes[p].left {
+                        z = p;
+                        self.rotate_right(z);
+                    }
+                    let p2 = self.nodes[z].parent.expect("rotated");
+                    let g2 = self.nodes[p2].parent.expect("rotated");
+                    self.nodes[p2].colour = Colour::Black;
+                    self.nodes[g2].colour = Colour::Red;
+                    self.mutate(p2);
+                    self.mutate(g2);
+                    self.rotate_left(g2);
+                }
+            }
+        }
+        if let Some(r) = self.root {
+            if self.nodes[r].colour != Colour::Black {
+                self.nodes[r].colour = Colour::Black;
+                self.mutate(r);
+            }
+        }
+    }
+
+    /// Tombstone-delete: find and mark dead (structure unchanged, the
+    /// common persistent-tree deletion strategy that avoids structural
+    /// fixup on the persistence path).
+    fn delete(&mut self, key: u32) -> Option<usize> {
+        self.visited.clear();
+        self.mutated.clear();
+        let (node, found) = self.descend(key);
+        if found {
+            let idx = node.expect("found");
+            self.nodes[idx].dead = true;
+            self.mutate(idx);
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    fn search(&mut self, key: u32) {
+        self.visited.clear();
+        self.mutated.clear();
+        let _ = self.descend(key);
+    }
+
+    /// Red-black invariants, for tests: root black, no red-red edges,
+    /// equal black height on every path.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        fn black_height(t: &RbMirror, n: Option<usize>) -> usize {
+            match n {
+                None => 1,
+                Some(i) => {
+                    let node = &t.nodes[i];
+                    if node.colour == Colour::Red {
+                        for c in [node.left, node.right].into_iter().flatten() {
+                            assert_eq!(t.nodes[c].colour, Colour::Black, "red-red edge");
+                        }
+                    }
+                    let lh = black_height(t, node.left);
+                    let rh = black_height(t, node.right);
+                    assert_eq!(lh, rh, "black-height mismatch at key {}", node.key);
+                    lh + usize::from(node.colour == Colour::Black)
+                }
+            }
+        }
+        if let Some(r) = self.root {
+            assert_eq!(self.nodes[r].colour, Colour::Black, "root must be black");
+            black_height(self, Some(r));
+        }
+    }
+}
+
+/// Builds the rbtree workload: 50% insert / 25% delete / 25% search over a
+/// shared red-black tree under a global lock (matching coarse-grained
+/// persistent-heap implementations of the period).
+pub fn rbtree(params: &MicroParams) -> Workload {
+    let mut heap = PersistentHeap::new();
+    // Node layout: one header line (key, colour, pointers) + 512-byte
+    // payload. Reserve room for preloaded + inserted nodes.
+    let max_nodes =
+        (params.capacity + params.threads * params.ops_per_thread + 1) as u64;
+    let (hdr_base, hdr_stride) = heap.alloc_array(HeapRegion::Persistent, 64, max_nodes);
+    let (pay_base, pay_stride) =
+        heap.alloc_array(HeapRegion::Persistent, params.entry_bytes, max_nodes);
+    let root_ptr = heap.alloc(HeapRegion::Persistent, 8);
+    let tlock = heap.alloc(HeapRegion::Volatile, 8);
+    let hdr = |i: usize| Addr::new(hdr_base.as_u64() + i as u64 * hdr_stride);
+    let pay = |i: usize| Addr::new(pay_base.as_u64() + i as u64 * pay_stride);
+
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut tree = RbMirror::new();
+    let mut keys = BTreeSet::new();
+
+    // Pre-populate with capacity/2 random keys.
+    while tree.len() < params.capacity / 2 {
+        let k = rng.gen_range(0..u32::MAX / 2);
+        if keys.insert(k) {
+            tree.insert(k);
+        }
+    }
+    let mut preloads = Vec::new();
+    for (i, n) in tree.nodes.iter().enumerate() {
+        preloads.push((hdr(i), n.key));
+        let base = pay(i);
+        for l in 0..(params.entry_bytes / 64) {
+            preloads.push((base.offset(l * 64), n.key));
+        }
+    }
+    preloads.push((root_ptr, tree.root.unwrap_or(0) as u32));
+
+    let mut builders: Vec<ProgramBuilder> = (0..params.threads)
+        .map(|_| ProgramBuilder::new())
+        .collect();
+
+    for op in 0..params.ops_per_thread {
+        for (t, b) in builders.iter_mut().enumerate() {
+            let value = (op * params.threads + t) as u32;
+            let kind = rng.gen_range(0..4);
+            match kind {
+                0 | 1 => {
+                    let k = rng.gen_range(0..u32::MAX / 2);
+                    keys.insert(k);
+                    b.lock(tlock);
+                    b.compute(params.work_cycles);
+                    b.load(root_ptr);
+                    let idx = tree.insert(k);
+                    for &v in &tree.visited {
+                        b.load(hdr(v));
+                    }
+                    // Epoch A: the new node's payload.
+                    b.store_span(pay(idx), params.entry_bytes, value);
+                    b.barrier();
+                    // Epoch B: structural updates (headers of every node
+                    // the fixup touched, possibly the root pointer).
+                    for &m in &tree.mutated.clone() {
+                        b.store(hdr(m), value);
+                    }
+                    b.store(root_ptr, tree.root.unwrap_or(0) as u32);
+                    b.barrier();
+                    b.unlock(tlock);
+                }
+                2 => {
+                    let k = keys
+                        .iter()
+                        .next()
+                        .copied()
+                        .unwrap_or_else(|| rng.gen_range(0..u32::MAX / 2));
+                    keys.remove(&k);
+                    b.lock(tlock);
+                    b.compute(params.work_cycles);
+                    b.load(root_ptr);
+                    let hit = tree.delete(k);
+                    for &v in &tree.visited {
+                        b.load(hdr(v));
+                    }
+                    if let Some(idx) = hit {
+                        // Tombstone: single-line header update, one epoch.
+                        b.store(hdr(idx), u32::MAX);
+                        b.barrier();
+                    }
+                    b.unlock(tlock);
+                }
+                _ => {
+                    let k = rng.gen_range(0..u32::MAX / 2);
+                    tree.search(k);
+                    b.load(root_ptr);
+                    for &v in &tree.visited.clone() {
+                        b.load(hdr(v));
+                    }
+                }
+            }
+            b.compute(params.think_cycles);
+            b.tx_end();
+        }
+    }
+
+    Workload {
+        name: "rbtree",
+        programs: builders.iter().map(ProgramBuilder::build).collect(),
+        preloads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_maintains_rb_invariants() {
+        let mut t = RbMirror::new();
+        for k in [50u32, 20, 70, 10, 30, 60, 80, 25, 27, 5, 1, 99, 65] {
+            t.insert(k);
+            t.check_invariants();
+        }
+        assert_eq!(t.len(), 13);
+    }
+
+    #[test]
+    fn mirror_handles_sorted_insertions() {
+        let mut t = RbMirror::new();
+        for k in 0..256u32 {
+            t.insert(k);
+        }
+        t.check_invariants();
+        // A red-black tree of 256 sorted inserts must stay shallow: the
+        // longest root path is at most 2*log2(n+1).
+        let mut max_depth = 0;
+        for i in 0..t.nodes.len() {
+            let mut d = 0;
+            let mut cur = Some(i);
+            while let Some(c) = cur {
+                d += 1;
+                cur = t.nodes[c].parent;
+            }
+            max_depth = max_depth.max(d);
+        }
+        assert!(max_depth <= 16, "depth {max_depth} too deep for RB tree");
+    }
+
+    #[test]
+    fn tombstone_delete_marks_dead() {
+        let mut t = RbMirror::new();
+        t.insert(5);
+        t.insert(9);
+        assert!(t.delete(5).is_some());
+        assert!(t.delete(404).is_none());
+        let alive: Vec<u32> = t
+            .nodes
+            .iter()
+            .filter(|n| !n.dead)
+            .map(|n| n.key)
+            .collect();
+        assert_eq!(alive, vec![9]);
+    }
+
+    #[test]
+    fn workload_generates() {
+        let wl = rbtree(&MicroParams::tiny());
+        assert_eq!(wl.programs.len(), 2);
+        assert!(wl.total_stores() > 0);
+        assert!(!wl.preloads.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Random-swaps micro-benchmark (`sps`): swap 512-byte entries of a shared
+//! persistent array.
+
+use super::MicroParams;
+use crate::heap::{HeapRegion, PersistentHeap};
+use crate::Workload;
+use pbm_sim::ProgramBuilder;
+use pbm_types::Addr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the sps workload: each transaction picks two random entries,
+/// locks them in index order (deadlock-free), reads both, writes both, and
+/// closes the swap with a persist barrier (one epoch per swap — the swap
+/// is recoverable because both entries persist together before the next
+/// swap's epoch may persist).
+pub fn sps(params: &MicroParams) -> Workload {
+    let mut heap = PersistentHeap::new();
+    let entries = params.capacity.max(4);
+    let (entry_base, stride) =
+        heap.alloc_array(HeapRegion::Persistent, params.entry_bytes, entries as u64);
+    let (lock_base, lock_stride) = heap.alloc_array(HeapRegion::Volatile, 8, entries as u64);
+    let entry = |i: usize| Addr::new(entry_base.as_u64() + i as u64 * stride);
+    let lock = |i: usize| Addr::new(lock_base.as_u64() + i as u64 * lock_stride);
+
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut preloads = Vec::new();
+    for i in 0..entries {
+        let base = entry(i);
+        for l in 0..(params.entry_bytes / 64) {
+            preloads.push((base.offset(l * 64), i as u32));
+        }
+    }
+
+    let mut builders: Vec<ProgramBuilder> = (0..params.threads)
+        .map(|_| ProgramBuilder::new())
+        .collect();
+
+    let slice = (entries / params.threads).max(2);
+    for op in 0..params.ops_per_thread {
+        for (t, b) in builders.iter_mut().enumerate() {
+            let pick = |rng: &mut StdRng| {
+                if rng.gen_bool(params.partition_locality) {
+                    (t * slice + rng.gen_range(0..slice)) % entries
+                } else {
+                    rng.gen_range(0..entries)
+                }
+            };
+            let i = pick(&mut rng);
+            let mut j = pick(&mut rng);
+            if j == i {
+                j = (j + 1) % entries;
+            }
+            let (lo, hi) = (i.min(j), i.max(j));
+            let value = (op * params.threads + t) as u32;
+            b.lock(lock(lo));
+            b.compute(params.work_cycles);
+            b.lock(lock(hi));
+            b.compute(params.work_cycles);
+            // Read both entries...
+            for l in 0..(params.entry_bytes / 64) {
+                b.load(entry(lo).offset(l * 64));
+                b.load(entry(hi).offset(l * 64));
+            }
+            // ...write both back swapped, persist as one epoch.
+            b.store_span(entry(lo), params.entry_bytes, value);
+            b.store_span(entry(hi), params.entry_bytes, value);
+            b.barrier();
+            b.unlock(lock(hi));
+            b.unlock(lock(lo));
+            b.compute(params.think_cycles);
+            b.tx_end();
+        }
+    }
+
+    Workload {
+        name: "sps",
+        programs: builders.iter().map(ProgramBuilder::build).collect(),
+        preloads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbm_sim::Op;
+
+    #[test]
+    fn locks_taken_in_index_order() {
+        let wl = sps(&MicroParams::tiny());
+        for p in &wl.programs {
+            let mut pending: Option<u64> = None;
+            for op in p.ops() {
+                match op {
+                    Op::Lock(a) => match pending {
+                        None => pending = Some(a.as_u64()),
+                        Some(first) => {
+                            assert!(a.as_u64() > first, "locks must be ordered");
+                            pending = None;
+                        }
+                    },
+                    Op::TxEnd => pending = None,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_is_one_epoch() {
+        let wl = sps(&MicroParams::tiny());
+        // Exactly one barrier per transaction.
+        for p in &wl.programs {
+            let barriers = p.ops().iter().filter(|o| matches!(o, Op::Barrier)).count();
+            let txs = p.ops().iter().filter(|o| matches!(o, Op::TxEnd)).count();
+            assert_eq!(barriers, txs);
+        }
+    }
+}

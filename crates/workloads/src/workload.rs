@@ -1,0 +1,56 @@
+//! A packaged workload: per-core programs plus initial durable state.
+
+use pbm_sim::{Program, System};
+use pbm_types::Addr;
+
+/// A ready-to-run workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short identifier (matches the paper's workload names).
+    pub name: &'static str,
+    /// One program per core (cores beyond `programs.len()` idle).
+    pub programs: Vec<Program>,
+    /// Initial durable memory image: `(addr, value)` pairs preloaded before
+    /// the run (the pre-existing persistent data structure).
+    pub preloads: Vec<(Addr, u32)>,
+}
+
+impl Workload {
+    /// Applies the preloads to a freshly built system. Call after
+    /// [`System::enable_checking`] (if used) so the checker learns the
+    /// initial image, and before [`System::run`].
+    pub fn apply_preloads(&self, sys: &mut System) {
+        for &(addr, value) in &self.preloads {
+            sys.preload(addr, value);
+        }
+    }
+
+    /// Total operations across all programs.
+    pub fn total_ops(&self) -> usize {
+        self.programs.iter().map(Program::len).sum()
+    }
+
+    /// Total stores across all programs.
+    pub fn total_stores(&self) -> usize {
+        self.programs.iter().map(Program::store_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbm_sim::ProgramBuilder;
+
+    #[test]
+    fn totals() {
+        let mut b = ProgramBuilder::new();
+        b.store(Addr::new(0), 1).barrier();
+        let wl = Workload {
+            name: "t",
+            programs: vec![b.build(), Program::empty()],
+            preloads: vec![(Addr::new(64), 9)],
+        };
+        assert_eq!(wl.total_ops(), 2);
+        assert_eq!(wl.total_stores(), 1);
+    }
+}

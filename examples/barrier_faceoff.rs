@@ -1,0 +1,51 @@
+//! Barrier face-off: one micro-benchmark, all four lazy barrier variants.
+//!
+//! A miniature Figure 11: runs the `queue` micro-benchmark under LB,
+//! LB+IDT, LB+PF and LB++ and prints throughput, conflict counts, and
+//! where the flushes came from — the quantities that explain *why* LB++
+//! wins.
+//!
+//! Run: `cargo run -p pbm --example barrier_faceoff --release`
+
+use pbm::prelude::*;
+use pbm::workloads::micro::{queue, MicroParams};
+
+fn main() -> Result<(), ConfigError> {
+    let mut params = MicroParams::paper();
+    params.threads = 8;
+    params.ops_per_thread = 32;
+    let wl = queue(&params);
+
+    let mut base = SystemConfig::micro48();
+    base.cores = 8;
+    base.llc_banks = 8;
+    base.mesh_rows = 2;
+    base.persistency = PersistencyKind::BufferedEpoch;
+
+    println!(
+        "{:<8} {:>10} {:>8} {:>8} {:>10} {:>10} {:>10}",
+        "barrier", "tput", "intra", "inter", "conflict%", "proactive", "stall-cy"
+    );
+    let mut lb_tput = None;
+    for kind in BarrierKind::LAZY_VARIANTS {
+        let mut cfg = base.clone();
+        cfg.barrier = kind;
+        let mut sys = System::new(cfg, wl.programs.clone())?;
+        wl.apply_preloads(&mut sys);
+        let stats = sys.run();
+        let tput = stats.throughput();
+        let lb = *lb_tput.get_or_insert(tput);
+        println!(
+            "{:<8} {:>9.2}x {:>8} {:>8} {:>9.1}% {:>10} {:>10}",
+            kind.to_string(),
+            tput / lb,
+            stats.conflicts_intra,
+            stats.conflicts_inter,
+            stats.conflicting_epoch_pct(),
+            stats.epochs_proactive_flushed,
+            stats.online_persist_stall_cycles,
+        );
+    }
+    println!("\n(throughput normalized to LB; paper's Figure 11 gmean: LB++ = 1.22x)");
+    Ok(())
+}

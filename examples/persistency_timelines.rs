@@ -1,0 +1,70 @@
+//! Figure 1 in numbers: the same store sequence under strict (SP), epoch
+//! (EP) and buffered-epoch (BEP) persistency.
+//!
+//! The paper's Figure 1 contrasts when visibility and persistence complete
+//! under each model. This example runs one thread issuing the figure's
+//! six stores (`a a b c` in epoch 1, `d e` in epoch 2, `f` in epoch 3)
+//! under each model and prints execution time and persist counts: SP
+//! (write-through) pays a persist per store and cannot coalesce the two
+//! stores to `a`; EP stalls at each barrier; BEP retires barriers without
+//! stalling and persists offline.
+//!
+//! Run: `cargo run -p pbm --example persistency_timelines`
+
+use pbm::prelude::*;
+
+fn program() -> Program {
+    let a = Addr::new(0);
+    let b = Addr::new(64);
+    let c = Addr::new(128);
+    let d = Addr::new(192);
+    let e = Addr::new(256);
+    let f = Addr::new(320);
+    let mut p = ProgramBuilder::new();
+    p.store(a, 1)
+        .store(a, 2) // coalesces under EP/BEP, cannot under SP
+        .store(b, 3)
+        .store(c, 4)
+        .barrier()
+        .store(d, 5)
+        .store(e, 6)
+        .barrier()
+        .store(f, 7)
+        .barrier();
+    p.build()
+}
+
+fn run(label: &str, barrier: BarrierKind, model: PersistencyKind) -> Result<(), ConfigError> {
+    let mut cfg = SystemConfig::small_test();
+    cfg.cores = 1;
+    cfg.barrier = barrier;
+    cfg.persistency = model;
+    let mut sys = System::new(cfg, vec![program()])?;
+    let stats = sys.run();
+    println!(
+        "{label:<28} visibility done @ {:>6} cycles | {:>2} NVRAM writes | barrier stalls {:>5} cycles",
+        stats.cycles, stats.nvram_writes, stats.barrier_stall_cycles
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), ConfigError> {
+    println!("six stores, three epochs (Figure 1's sequence), one core:\n");
+    run(
+        "SP  (strict, write-through)",
+        BarrierKind::WriteThrough,
+        PersistencyKind::Strict,
+    )?;
+    run("EP  (epoch persistency)", BarrierKind::LbPp, PersistencyKind::Epoch)?;
+    run(
+        "BEP (buffered epochs, LB++)",
+        BarrierKind::LbPp,
+        PersistencyKind::BufferedEpoch,
+    )?;
+    println!(
+        "\nSP persists 7 lines (no coalescing of the two stores to `a`) in the\n\
+         critical path; EP coalesces but stalls at barriers; BEP retires the\n\
+         same barriers without stalling — persists happen offline."
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Figure 10 end-to-end: persistent queue inserts with crash injection.
+//!
+//! Replays the paper's queue-insert recipe, then "crashes" the machine at
+//! every few hundred cycles of the run and checks the recovery invariant
+//! the barrier placement is supposed to buy: *if the head pointer points
+//! past an entry, that entry's payload is fully durable.* A crash between
+//! epoch A (entry copy) and epoch B (head bump) simply ignores the
+//! half-inserted entry.
+//!
+//! Run: `cargo run -p pbm --example queue_crash_recovery`
+
+use pbm::prelude::*;
+
+const ENTRY_BYTES: u64 = 512;
+const SLOTS: u64 = 32;
+
+fn slot(i: u64) -> Addr {
+    Addr::new((i % SLOTS) * ENTRY_BYTES)
+}
+
+fn head_ptr() -> Addr {
+    Addr::new(SLOTS * ENTRY_BYTES)
+}
+
+fn main() -> Result<(), ConfigError> {
+    let mut cfg = SystemConfig::small_test();
+    cfg.cores = 1;
+    cfg.llc_banks = 4;
+    cfg.barrier = BarrierKind::LbPp;
+
+    // One thread performs 8 inserts.
+    let inserts = 8u64;
+    let mut b = ProgramBuilder::new();
+    for i in 0..inserts {
+        b.store_span(slot(i), ENTRY_BYTES, (100 + i) as u32); // epoch A
+        b.barrier();
+        b.store(head_ptr(), (i + 1) as u32); // epoch B: head = i+1
+        b.barrier();
+    }
+
+    let mut sys = System::new(cfg, vec![b.build()])?;
+    sys.enable_checking();
+    sys.preload(head_ptr(), 0);
+    let stats = sys.run();
+    println!(
+        "ran {} inserts in {} cycles; {} epochs persisted",
+        inserts, stats.cycles, stats.epochs_persisted
+    );
+
+    // Crash everywhere and recover.
+    let horizon = stats.cycles + 30_000;
+    let mut checked = 0u64;
+    let mut ignored_partial = 0u64;
+    for at in (0..horizon).step_by(250) {
+        let snap = sys.persistent_snapshot_at(Cycle::new(at));
+        // Recovery: read the durable head pointer.
+        let head = snap
+            .line(head_ptr().line())
+            .map(|tok| System::token_value(tok) as u64)
+            .unwrap_or(0);
+        // Invariant: every entry below head is fully durable with the
+        // value written for it.
+        for i in 0..head {
+            for l in 0..(ENTRY_BYTES / 64) {
+                let line = slot(i).offset(l * 64).line();
+                let tok = snap.line(line).unwrap_or_else(|| {
+                    panic!("crash@{at}: head={head} but entry {i} line {l} not durable")
+                });
+                assert_eq!(
+                    System::token_value(tok) as u64,
+                    100 + i,
+                    "crash@{at}: entry {i} holds a foreign value"
+                );
+            }
+        }
+        // Count crashes that caught a half-inserted entry (data durable
+        // beyond head) — legal, and exactly what recovery ignores.
+        if snap.line(slot(head).line()).is_some() && head < inserts {
+            ignored_partial += 1;
+        }
+        checked += 1;
+    }
+    println!("checked {checked} crash points: recovery invariant held at every one");
+    println!("{ignored_partial} crash points caught a half-inserted entry (safely ignored)");
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! Crash-consistency integration tests: random multithreaded workloads,
+//! every barrier variant, arbitrary crash points — the persistency model's
+//! guarantees must hold at all of them.
+
+use pbm::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_cfg(barrier: BarrierKind, persistency: PersistencyKind) -> SystemConfig {
+    let mut cfg = SystemConfig::small_test();
+    cfg.barrier = barrier;
+    cfg.persistency = persistency;
+    cfg
+}
+
+/// A random program mixing private and shared lines with barriers.
+fn random_program(seed: u64, core: usize, ops: usize, shared_lines: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed ^ (core as u64) << 32);
+    let mut b = ProgramBuilder::new();
+    let private_base = 1_000 + core as u64 * 64;
+    for i in 0..ops {
+        match rng.gen_range(0..10) {
+            0..=4 => {
+                // Store, mostly private, sometimes shared.
+                let line = if rng.gen_bool(0.3) {
+                    rng.gen_range(0..shared_lines)
+                } else {
+                    private_base + rng.gen_range(0..32)
+                };
+                b.store(Addr::new(line * 64), i as u32);
+            }
+            5..=6 => {
+                let line = rng.gen_range(0..shared_lines);
+                b.load(Addr::new(line * 64));
+            }
+            7..=8 => {
+                b.compute(rng.gen_range(1..200));
+            }
+            _ => {
+                b.barrier();
+            }
+        }
+    }
+    b.barrier();
+    b.build()
+}
+
+fn check_bep_everywhere(seed: u64, barrier: BarrierKind) {
+    let cfg = small_cfg(barrier, PersistencyKind::BufferedEpoch);
+    let programs = (0..cfg.cores)
+        .map(|c| random_program(seed, c, 60, 16))
+        .collect();
+    let mut sys = System::new(cfg, programs).expect("valid config");
+    sys.enable_checking();
+    let stats = sys.run();
+    let ck = sys.checker().expect("checking enabled");
+    let horizon = stats.cycles + 50_000;
+    for k in 0..40 {
+        let at = Cycle::new(horizon * k / 39);
+        let snap = sys.persistent_snapshot_at(at);
+        ck.check_bep(&snap)
+            .unwrap_or_else(|v| panic!("{barrier} seed={seed}: violation at {at}: {v}"));
+    }
+    // The recorded dependence graph must be acyclic (deadlock freedom).
+    assert!(ck.hb_graph().is_acyclic(), "{barrier}: cyclic dependences");
+}
+
+#[test]
+fn bep_invariants_hold_for_every_lazy_barrier() {
+    for barrier in BarrierKind::LAZY_VARIANTS {
+        for seed in [1u64, 2, 3] {
+            check_bep_everywhere(seed, barrier);
+        }
+    }
+}
+
+#[test]
+fn bsp_recovery_is_atomic_for_every_lazy_barrier() {
+    for barrier in BarrierKind::LAZY_VARIANTS {
+        for seed in [11u64, 12] {
+            let mut cfg = small_cfg(barrier, PersistencyKind::BufferedStrictBulk);
+            cfg.bsp_epoch_size = 7;
+            let programs = (0..cfg.cores)
+                .map(|c| random_program(seed, c, 50, 12))
+                .collect();
+            let mut sys = System::new(cfg, programs).expect("valid config");
+            sys.enable_checking();
+            let stats = sys.run();
+            let ck = sys.checker().expect("checking enabled");
+            let horizon = stats.cycles + 50_000;
+            for k in 0..40 {
+                let at = Cycle::new(horizon * k / 39);
+                let snap = sys.persistent_snapshot_at(at);
+                let (recovered, _) = snap.recover_with(sys.undo_log());
+                ck.check_bsp_recovered(&recovered).unwrap_or_else(|v| {
+                    panic!("{barrier} seed={seed}: violation at {at}: {v}")
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn strict_write_through_persists_in_program_order() {
+    let cfg = small_cfg(BarrierKind::WriteThrough, PersistencyKind::Strict);
+    let mut b = ProgramBuilder::new();
+    for i in 0..20u64 {
+        b.store(Addr::new(i * 64), i as u32);
+    }
+    let mut sys = System::new(cfg, vec![b.build()]).expect("valid config");
+    sys.enable_checking();
+    let stats = sys.run();
+    // At every crash point, the durable lines must be a prefix of program
+    // order: if line k is durable, lines 0..k are durable.
+    for at in (0..stats.cycles + 1000).step_by(97) {
+        let snap = sys.persistent_snapshot_at(Cycle::new(at));
+        let durable: Vec<bool> = (0..20u64)
+            .map(|i| snap.line(LineAddr::new(i)).is_some())
+            .collect();
+        let first_gap = durable.iter().position(|d| !d).unwrap_or(20);
+        assert!(
+            durable[first_gap..].iter().all(|d| !d),
+            "crash@{at}: durable set {durable:?} is not a program-order prefix"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random seeds, random crash points: LB++ never violates BEP.
+    #[test]
+    fn prop_lbpp_bep_consistency(seed in 100u64..200) {
+        check_bep_everywhere(seed, BarrierKind::LbPp);
+    }
+
+    /// Determinism: a workload produces identical statistics on every run.
+    #[test]
+    fn prop_runs_are_deterministic(seed in 0u64..50) {
+        let mk = || {
+            let cfg = small_cfg(BarrierKind::LbPp, PersistencyKind::BufferedEpoch);
+            let programs = (0..cfg.cores)
+                .map(|c| random_program(seed, c, 40, 8))
+                .collect();
+            let mut sys = System::new(cfg, programs).expect("valid config");
+            sys.run()
+        };
+        prop_assert_eq!(mk(), mk());
+    }
+}
