@@ -1,0 +1,51 @@
+//! Overhead of the observability layer on `run_one`.
+//!
+//! The contract is that a disabled observer is free: every
+//! instrumentation point is one predictable branch, so `disabled` must
+//! track the pre-instrumentation baseline within noise (<2%). The
+//! `tracing` and `tracing+metrics` rows show the enabled cost for
+//! comparison — they are allowed to be slower.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbm_bench::{run_one, run_one_instrumented};
+use pbm_types::{BarrierKind, Cycle, PersistencyKind, SystemConfig};
+use pbm_workloads::micro::{self, MicroParams};
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut params = MicroParams::paper();
+    params.threads = 8;
+    params.ops_per_thread = 64;
+    let wl = micro::all(&params).remove(0);
+    let mut cfg = SystemConfig::micro48();
+    cfg.cores = 8;
+    cfg.llc_banks = 8;
+    cfg.mesh_rows = 2;
+    cfg.persistency = PersistencyKind::BufferedEpoch;
+    cfg.barrier = BarrierKind::LbPp;
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("disabled"),
+        &(cfg.clone(), wl.clone()),
+        |b, (cfg, wl)| b.iter(|| run_one(cfg.clone(), wl)),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("tracing"),
+        &(cfg.clone(), wl.clone()),
+        |b, (cfg, wl)| b.iter(|| run_one_instrumented(cfg.clone(), wl, true, None)),
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("tracing+metrics"),
+        &(cfg, wl),
+        |b, (cfg, wl)| {
+            b.iter(|| run_one_instrumented(cfg.clone(), wl, true, Some(Cycle::new(5_000))))
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

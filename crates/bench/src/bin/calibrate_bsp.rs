@@ -8,7 +8,10 @@ fn main() {
     let mut params = AppParams::paper();
     params.ops_per_thread = ops;
     let base = SystemConfig::micro48();
-    println!("{:<9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}", "app", "LB300", "LB1K", "LB10K", "IDT", "LB++", "NOLOG");
+    println!(
+        "{:<9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "app", "LB300", "LB1K", "LB10K", "IDT", "LB++", "NOLOG"
+    );
     for prof in apps::PROFILES.iter() {
         let wl = apps::build(prof, &params);
         let mut np = base.clone();
@@ -17,9 +20,12 @@ fn main() {
         let np_c = run_one(np, &wl).cycles as f64;
         let mut row = vec![];
         for (kind, size, logging) in [
-            (BarrierKind::Lb, 300, true), (BarrierKind::Lb, 1000, true),
-            (BarrierKind::Lb, 10_000, true), (BarrierKind::LbIdt, 10_000, true),
-            (BarrierKind::LbPp, 10_000, true), (BarrierKind::LbPp, 10_000, false),
+            (BarrierKind::Lb, 300, true),
+            (BarrierKind::Lb, 1000, true),
+            (BarrierKind::Lb, 10_000, true),
+            (BarrierKind::LbIdt, 10_000, true),
+            (BarrierKind::LbPp, 10_000, true),
+            (BarrierKind::LbPp, 10_000, false),
         ] {
             let mut c = base.clone();
             c.persistency = PersistencyKind::BufferedStrictBulk;
@@ -28,6 +34,9 @@ fn main() {
             c.logging = logging;
             row.push(run_one(c, &wl).cycles as f64 / np_c);
         }
-        println!("{:<9} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}", prof.name, row[0], row[1], row[2], row[3], row[4], row[5]);
+        println!(
+            "{:<9} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+            prof.name, row[0], row[1], row[2], row[3], row[4], row[5]
+        );
     }
 }

@@ -5,7 +5,10 @@
 //!
 //! Run: `cargo run -p pbm-bench --release --bin fig11 [--quick]`
 
-use pbm_bench::{gmean, print_system_header, print_table, quick_mode, run_matrix};
+use pbm_bench::{
+    capture_artifacts, gmean, print_flush_latency, print_system_header, print_table, quick_mode,
+    run_matrix, ObsOptions,
+};
 use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
 use pbm_workloads::micro::{self, MicroParams};
 
@@ -56,5 +59,16 @@ fn main() {
         &["workload", "LB", "LB+IDT", "LB+PF", "LB++"],
         &rows,
     );
+    print_flush_latency("epoch flush latency (cycles)", &results);
     println!("\npaper gmean: LB 1.00, LB+IDT 1.03, LB+PF 1.17, LB++ 1.22");
+
+    // Optional --trace-out / --metrics-csv artifacts: one representative
+    // cell (first micro-benchmark under LB++).
+    let opts = ObsOptions::from_args();
+    if opts.is_active() {
+        let wl = &micro::all(&params)[0];
+        let mut cfg = base.clone();
+        cfg.barrier = BarrierKind::LbPp;
+        capture_artifacts(&opts, cfg, wl, &format!("{}/LB++", wl.name));
+    }
 }

@@ -5,7 +5,9 @@
 //!
 //! Run: `cargo run -p pbm-bench --release --bin fig12 [--quick]`
 
-use pbm_bench::{amean, print_system_header, print_table, quick_mode, run_matrix};
+use pbm_bench::{
+    amean, capture_artifacts, print_system_header, print_table, quick_mode, run_matrix, ObsOptions,
+};
 use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
 use pbm_workloads::micro::{self, MicroParams};
 
@@ -56,4 +58,12 @@ fn main() {
         &rows,
     );
     println!("\npaper amean: LB 90, LB+IDT 90, LB+PF 77, LB++ 75");
+
+    let opts = ObsOptions::from_args();
+    if opts.is_active() {
+        let wl = &micro::all(&params)[0];
+        let mut cfg = base.clone();
+        cfg.barrier = BarrierKind::LbPp;
+        capture_artifacts(&opts, cfg, wl, &format!("{}/LB++", wl.name));
+    }
 }

@@ -6,7 +6,10 @@
 //!
 //! Run: `cargo run -p pbm-bench --release --bin fig13 [--quick]`
 
-use pbm_bench::{gmean, print_system_header, print_table, quick_mode, run_matrix};
+use pbm_bench::{
+    capture_artifacts, gmean, print_flush_latency, print_system_header, print_table, quick_mode,
+    run_matrix, ObsOptions,
+};
 use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
 use pbm_workloads::apps::{self, AppParams};
 
@@ -69,5 +72,13 @@ fn main() {
         &["workload", "LB300", "LB1K", "LB10K"],
         &rows,
     );
+    print_flush_latency("epoch flush latency (cycles)", &results);
     println!("\npaper gmean: LB300 1.9, LB1K 1.5, LB10K ~1.45");
+
+    let opts = ObsOptions::from_args();
+    if opts.is_active() {
+        let wl = &apps::all(&params)[0];
+        let (label, cfg) = &configs[2]; // LB1K
+        capture_artifacts(&opts, cfg.clone(), wl, &format!("{}/{label}", wl.name));
+    }
 }

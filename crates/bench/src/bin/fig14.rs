@@ -6,7 +6,10 @@
 //!
 //! Run: `cargo run -p pbm-bench --release --bin fig14 [--quick]`
 
-use pbm_bench::{gmean, print_system_header, print_table, quick_mode, run_matrix};
+use pbm_bench::{
+    capture_artifacts, gmean, print_flush_latency, print_system_header, print_table, quick_mode,
+    run_matrix, ObsOptions,
+};
 use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
 use pbm_workloads::apps::{self, AppParams};
 
@@ -75,5 +78,13 @@ fn main() {
         &["workload", "LB", "LB+IDT", "LB++", "LB++NOLOG"],
         &rows,
     );
+    print_flush_latency("epoch flush latency (cycles)", &results);
     println!("\npaper gmean: LB 1.5, LB+IDT 1.35, LB++ 1.3, LB++NOLOG 1.16");
+
+    let opts = ObsOptions::from_args();
+    if opts.is_active() {
+        let wl = &apps::all(&params)[0];
+        let (label, cfg) = &configs[3]; // LB++
+        capture_artifacts(&opts, cfg.clone(), wl, &format!("{}/{label}", wl.name));
+    }
 }

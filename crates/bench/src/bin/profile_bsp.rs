@@ -1,12 +1,37 @@
-use pbm_bench::run_one;
-use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
+//! BSP configuration profiler: runs one application across the barrier
+//! ladder (NP, LB at three epoch sizes, IDT, LB++, no-log) with the
+//! metrics sampler attached and prints, per configuration, a
+//! stall-attribution breakdown (compute vs online-persist vs barrier
+//! cycles), the epoch flush-latency percentiles, and the headline
+//! counters the roadmap tracks.
+//!
+//! Run: `cargo run -p pbm-bench --release --bin profile_bsp -- \
+//!           [app] [ops] [--trace-out=t.json] [--metrics-csv=m.csv]`
+//!
+//! With `--trace-out` / `--metrics-csv` the artifacts are written per
+//! configuration, suffixed with the config label.
+
+use pbm_bench::{capture_artifacts, run_one_instrumented, ObsOptions};
+use pbm_types::{BarrierKind, Cycle, PersistencyKind, SystemConfig};
 use pbm_workloads::apps::{self, AppParams};
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let app = args.get(1).cloned().unwrap_or("ssca2".into());
-    let ops: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(40_000);
+    let app = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or("ssca2".into());
+    let ops: usize = args
+        .iter()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000);
+    let opts = ObsOptions::from_args();
     let mut params = AppParams::paper();
     params.ops_per_thread = ops;
     let wl = apps::build(apps::profile(&app).unwrap(), &params);
@@ -21,6 +46,10 @@ fn main() {
         ("LB++10K".into(), BarrierKind::LbPp, 10_000, true),
         ("NOLOG".into(), BarrierKind::LbPp, 10_000, false),
     ];
+    println!(
+        "{:<10}{:>12}{:>8}{:>10}{:>10}{:>10}{:>9}{:>9}{:>9}",
+        "config", "cycles", "norm", "epochs", "cfl%", "splits", "comp%", "onl%", "bar%"
+    );
     for (label, kind, size, logging) in configs {
         let mut cfg = base.clone();
         cfg.persistency = PersistencyKind::BufferedStrictBulk;
@@ -28,15 +57,53 @@ fn main() {
         cfg.bsp_epoch_size = size;
         cfg.logging = logging;
         let t = Instant::now();
-        let stats = run_one(cfg, &wl);
-        if label == "NP" { np_cycles = stats.cycles as f64; }
-        println!(
-            "{app} {label}: wall={:?} cyc={} norm={:.2} epochs={} cfl%={:.1} I={} X={} stall={} bstall={} log={} chk={} ovf={} splits={} evf={} parks={}",
-            t.elapsed(), stats.cycles, stats.cycles as f64 / np_cycles,
-            stats.epochs_created, stats.conflicting_epoch_pct(),
-            stats.conflicts_intra, stats.conflicts_inter,
-            stats.online_persist_stall_cycles, stats.barrier_stall_cycles,
-            stats.log_writes, stats.checkpoint_writes, stats.idt_overflows, stats.deadlock_splits, stats.epochs_eviction_flushed, stats.parks,
+        let (stats, _, samples) = run_one_instrumented(
+            cfg.clone(),
+            &wl,
+            false,
+            Some(Cycle::new(opts.metrics_interval)),
         );
+        if label == "NP" {
+            np_cycles = stats.cycles as f64;
+        }
+        // Stall attribution: total core-cycles split into stalled-online,
+        // stalled-at-barrier, and everything else (compute + memory).
+        let core_cycles = (stats.cycles * cfg.cores as u64).max(1) as f64;
+        let onl = stats.online_persist_stall_cycles as f64 / core_cycles * 100.0;
+        let bar = stats.barrier_stall_cycles as f64 / core_cycles * 100.0;
+        let comp = 100.0 - onl - bar;
+        println!(
+            "{label:<10}{:>12}{:>8.2}{:>10}{:>10.1}{:>10}{:>9.1}{:>9.1}{:>9.1}",
+            stats.cycles,
+            stats.cycles as f64 / np_cycles,
+            stats.epochs_created,
+            stats.conflicting_epoch_pct(),
+            stats.deadlock_splits,
+            comp,
+            onl,
+            bar,
+        );
+        if stats.epoch_flush_latency.count() > 0 {
+            println!("           flush latency: {}", stats.epoch_flush_latency);
+        }
+        // Saturation sketch from the sampled series: peak MC write-queue
+        // depth and peak simultaneously-stalled cores.
+        let peak_q = samples.iter().map(|s| s.mc_queue_depth).max().unwrap_or(0);
+        let peak_stalled = samples.iter().map(|s| s.stalled_cores).max().unwrap_or(0);
+        println!(
+            "           detail: wall={:?} I={} X={} ovf={} log={} chk={} evf={} parks={} \
+             peak_mcq={peak_q} peak_stalled={peak_stalled}",
+            t.elapsed(),
+            stats.conflicts_intra,
+            stats.conflicts_inter,
+            stats.idt_overflows,
+            stats.log_writes,
+            stats.checkpoint_writes,
+            stats.epochs_eviction_flushed,
+            stats.parks,
+        );
+        if opts.is_active() {
+            capture_artifacts(&opts.for_label(&label), cfg, &wl, &label);
+        }
     }
 }

@@ -9,6 +9,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod obs;
+
+pub use obs::{capture_artifacts, run_one_instrumented, ObsOptions};
+
 use pbm_sim::System;
 use pbm_types::{SimStats, SystemConfig};
 use pbm_workloads::Workload;
@@ -122,6 +126,26 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[(String, Vec<f64>)]) {
             print!("{v:>10.3}");
         }
         println!();
+    }
+}
+
+/// Prints the epoch flush-latency distribution of each run that persisted
+/// at least one epoch: count, mean, and the p50/p95/p99 tail, one row per
+/// `(config, workload)` cell.
+pub fn print_flush_latency(title: &str, results: &[RunResult]) {
+    let rows: Vec<&RunResult> = results
+        .iter()
+        .filter(|r| r.stats.epoch_flush_latency.count() > 0)
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    println!("\n== {title} ==");
+    for r in rows {
+        println!(
+            "{:<12}{:<12}{}",
+            r.config, r.workload, r.stats.epoch_flush_latency
+        );
     }
 }
 

@@ -96,7 +96,10 @@ mod tests {
         ix.add(tag(0, 0), LineAddr::new(3));
         ix.add(tag(0, 0), LineAddr::new(1));
         ix.add(tag(0, 1), LineAddr::new(9));
-        assert_eq!(ix.lines(tag(0, 0)), vec![LineAddr::new(1), LineAddr::new(3)]);
+        assert_eq!(
+            ix.lines(tag(0, 0)),
+            vec![LineAddr::new(1), LineAddr::new(3)]
+        );
         assert_eq!(ix.len(tag(0, 0)), 2);
         ix.remove(tag(0, 0), LineAddr::new(1));
         assert_eq!(ix.lines(tag(0, 0)), vec![LineAddr::new(3)]);

@@ -58,12 +58,18 @@ mod tests {
 
     #[test]
     fn ongoing_source_splits() {
-        assert_eq!(split_decision(EpochState::Ongoing), SplitDecision::SplitSource);
+        assert_eq!(
+            split_decision(EpochState::Ongoing),
+            SplitDecision::SplitSource
+        );
     }
 
     #[test]
     fn completed_source_records_directly() {
-        assert_eq!(split_decision(EpochState::Completed), SplitDecision::NoSplit);
+        assert_eq!(
+            split_decision(EpochState::Completed),
+            SplitDecision::NoSplit
+        );
         assert_eq!(split_decision(EpochState::Flushing), SplitDecision::NoSplit);
     }
 

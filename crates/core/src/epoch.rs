@@ -169,12 +169,7 @@ impl EpochLedger {
     pub fn unpersisted_completed(&self) -> Vec<EpochId> {
         (self.frontier.as_u64()..self.current.as_u64())
             .map(EpochId::new)
-            .filter(|e| {
-                matches!(
-                    self.state(*e),
-                    EpochState::Completed | EpochState::Flushing
-                )
-            })
+            .filter(|e| matches!(self.state(*e), EpochState::Completed | EpochState::Flushing))
             .collect()
     }
 }
@@ -273,6 +268,9 @@ mod tests {
     #[test]
     fn current_tag_carries_core() {
         let l = EpochLedger::new(CoreId::new(7));
-        assert_eq!(l.current_tag(), EpochTag::new(CoreId::new(7), EpochId::new(0)));
+        assert_eq!(
+            l.current_tag(),
+            EpochTag::new(CoreId::new(7), EpochId::new(0))
+        );
     }
 }

@@ -188,10 +188,7 @@ mod tests {
         hb.add_dependence(tag(1, 0), tag(0, 1));
         // 0:E1 persisted but its inter-thread source 1:E0 is not.
         let persisted = |t: EpochTag| t == tag(0, 1) || t == tag(0, 0);
-        assert_eq!(
-            hb.prefix_violation(persisted),
-            Some((tag(1, 0), tag(0, 1)))
-        );
+        assert_eq!(hb.prefix_violation(persisted), Some((tag(1, 0), tag(0, 1))));
         // Once the source persists too the set is closed.
         let all = |_t: EpochTag| true;
         assert_eq!(hb.prefix_violation(all), None);

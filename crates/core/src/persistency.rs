@@ -42,10 +42,7 @@ impl BarrierSemantics {
     /// has fully persisted (rule E2 of EP; rule S2 of SP degenerates to
     /// per-store stalls handled by the write-through path).
     pub fn barrier_stalls(&self) -> bool {
-        matches!(
-            self.kind,
-            PersistencyKind::Strict | PersistencyKind::Epoch
-        )
+        matches!(self.kind, PersistencyKind::Strict | PersistencyKind::Epoch)
     }
 
     /// True if every store must persist before the next becomes visible

@@ -348,7 +348,8 @@ mod tests {
         let ck = two_epoch_journal();
         // Epoch 0 fully durable, epoch 1 partially: fine for BEP.
         ck.check_bep(&snap(&[(1, 101), (2, 102)])).unwrap();
-        ck.check_bep(&snap(&[(1, 101), (2, 102), (3, 103)])).unwrap();
+        ck.check_bep(&snap(&[(1, 101), (2, 102), (3, 103)]))
+            .unwrap();
     }
 
     #[test]
@@ -455,7 +456,8 @@ mod tests {
     fn bsp_accepts_whole_epochs() {
         let ck = two_epoch_journal();
         ck.check_bsp_recovered(&snap(&[])).unwrap();
-        ck.check_bsp_recovered(&snap(&[(1, 101), (2, 102)])).unwrap();
+        ck.check_bsp_recovered(&snap(&[(1, 101), (2, 102)]))
+            .unwrap();
         ck.check_bsp_recovered(&snap(&[(1, 101), (2, 102), (3, 103)]))
             .unwrap();
     }

@@ -43,6 +43,16 @@ impl MessageClass {
 
     /// Number of virtual networks.
     pub const VNETS: usize = 3;
+
+    /// The trace-vocabulary class of this message, for `pbm-obs` exports
+    /// (which must not depend on this crate).
+    pub const fn obs_class(self) -> pbm_types::NocClass {
+        match self {
+            MessageClass::Control => pbm_types::NocClass::Control,
+            MessageClass::Data => pbm_types::NocClass::Data,
+            MessageClass::Writeback => pbm_types::NocClass::Writeback,
+        }
+    }
 }
 
 impl fmt::Display for MessageClass {
@@ -63,6 +73,19 @@ mod tests {
     fn sizes() {
         assert_eq!(MessageClass::Control.bytes(), 8);
         assert_eq!(MessageClass::Data.bytes(), 72);
+    }
+
+    #[test]
+    fn obs_classes_align() {
+        assert_eq!(
+            MessageClass::Control.obs_class(),
+            pbm_types::NocClass::Control
+        );
+        assert_eq!(MessageClass::Data.obs_class(), pbm_types::NocClass::Data);
+        assert_eq!(
+            MessageClass::Writeback.obs_class(),
+            pbm_types::NocClass::Writeback
+        );
     }
 
     #[test]

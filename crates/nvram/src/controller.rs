@@ -74,6 +74,14 @@ impl McTiming {
         Self::schedule_on(&mut self.banks, now, latency)
     }
 
+    /// Write lanes still busy at `now` — the instantaneous depth of the
+    /// buffered-persist queue (each busy lane holds exactly one in-flight
+    /// write; queued writes behind it have not been scheduled yet, so this
+    /// is a lower bound that tracks saturation faithfully).
+    pub fn pending_writes(&self, now: Cycle) -> u64 {
+        self.banks.iter().filter(|t| **t > now).count() as u64
+    }
+
     /// Reads scheduled so far.
     pub fn read_count(&self) -> u64 {
         self.reads
@@ -155,6 +163,16 @@ mod tests {
             mc.schedule_write(Cycle::ZERO);
         }
         assert_eq!(mc.schedule_read(Cycle::ZERO), Cycle::new(240));
+    }
+
+    #[test]
+    fn pending_writes_tracks_busy_lanes() {
+        let mut mc = McTiming::new(2, 240, 360);
+        assert_eq!(mc.pending_writes(Cycle::ZERO), 0);
+        mc.schedule_write(Cycle::ZERO); // lane 0 busy until 360
+        mc.schedule_write(Cycle::ZERO); // lane 1 busy until 360
+        assert_eq!(mc.pending_writes(Cycle::new(100)), 2);
+        assert_eq!(mc.pending_writes(Cycle::new(360)), 0, "retired at 360");
     }
 
     #[test]

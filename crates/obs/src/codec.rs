@@ -1,0 +1,387 @@
+//! Structured-event JSON codec: [`TraceEvent`] ⇄ JSON, with a round-trip
+//! guarantee (`parse_events(export_events(ev)) == ev`).
+//!
+//! The document is an object `{"version":1,"events":[...]}` with one flat
+//! object per event; field order is fixed, so exports are byte-identical
+//! for identical event streams.
+
+use crate::json::{parse, JsonParseError, JsonValue};
+use pbm_types::{
+    BankId, CoreId, Cycle, EpochId, EpochPhase, EpochTag, FlushReason, McId, NocClass, NodeId,
+    StallKind, TraceEvent, TraceEventKind,
+};
+use std::fmt;
+
+/// Current document version.
+pub const VERSION: u64 = 1;
+
+/// Why an event document failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The text is not valid JSON (or not in the trace value space).
+    Json(JsonParseError),
+    /// The JSON is structurally not an event document.
+    Shape(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Json(e) => write!(f, "{e}"),
+            DecodeError::Shape(m) => write!(f, "bad event document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<JsonParseError> for DecodeError {
+    fn from(e: JsonParseError) -> Self {
+        DecodeError::Json(e)
+    }
+}
+
+fn shape(m: impl Into<String>) -> DecodeError {
+    DecodeError::Shape(m.into())
+}
+
+fn node_to_string(n: NodeId) -> String {
+    n.to_string() // "C3" / "B1" / "MC0"
+}
+
+fn node_from_str(s: &str) -> Result<NodeId, DecodeError> {
+    if let Some(raw) = s.strip_prefix("MC") {
+        let raw: u32 = raw.parse().map_err(|_| shape(format!("bad node {s}")))?;
+        return Ok(NodeId::Mc(McId::new(raw)));
+    }
+    if let Some(raw) = s.strip_prefix('C') {
+        let raw: u32 = raw.parse().map_err(|_| shape(format!("bad node {s}")))?;
+        return Ok(NodeId::Core(CoreId::new(raw)));
+    }
+    if let Some(raw) = s.strip_prefix('B') {
+        let raw: u32 = raw.parse().map_err(|_| shape(format!("bad node {s}")))?;
+        return Ok(NodeId::Bank(BankId::new(raw)));
+    }
+    Err(shape(format!("bad node {s}")))
+}
+
+fn num(n: u64) -> JsonValue {
+    JsonValue::Num(n)
+}
+
+fn s(v: impl Into<String>) -> JsonValue {
+    JsonValue::Str(v.into())
+}
+
+fn tag_fields(prefix: &str, tag: EpochTag, out: &mut Vec<(String, JsonValue)>) {
+    out.push((format!("{prefix}core"), num(u64::from(tag.core.as_u32()))));
+    out.push((format!("{prefix}epoch"), num(tag.epoch.as_u64())));
+}
+
+/// Encodes one event as a flat JSON object.
+pub fn event_to_json(event: &TraceEvent) -> JsonValue {
+    let mut fields: Vec<(String, JsonValue)> = vec![
+        ("cycle".into(), num(event.cycle.as_u64())),
+        ("kind".into(), s(event.kind.name())),
+    ];
+    match event.kind {
+        TraceEventKind::EpochPhase { tag, phase } => {
+            tag_fields("", tag, &mut fields);
+            fields.push(("phase".into(), s(phase.name())));
+        }
+        TraceEventKind::FlushEpoch { tag, reason } => {
+            tag_fields("", tag, &mut fields);
+            fields.push(("reason".into(), s(reason.name())));
+        }
+        TraceEventKind::BankAck { tag, bank } => {
+            tag_fields("", tag, &mut fields);
+            fields.push(("bank".into(), num(u64::from(bank.as_u32()))));
+        }
+        TraceEventKind::PersistCmp { tag } => {
+            tag_fields("", tag, &mut fields);
+        }
+        TraceEventKind::IdtRecord { source, dependent }
+        | TraceEventKind::IdtOverflow { source, dependent }
+        | TraceEventKind::ConflictInter { source, dependent } => {
+            tag_fields("src_", source, &mut fields);
+            tag_fields("dep_", dependent, &mut fields);
+        }
+        TraceEventKind::DeadlockSplit { core, epoch }
+        | TraceEventKind::ConflictIntra { core, epoch } => {
+            fields.push(("core".into(), num(u64::from(core.as_u32()))));
+            fields.push(("epoch".into(), num(epoch.as_u64())));
+        }
+        TraceEventKind::StallBegin { core, kind, tag } => {
+            fields.push(("core".into(), num(u64::from(core.as_u32()))));
+            fields.push(("stall".into(), s(kind.name())));
+            tag_fields("on_", tag, &mut fields);
+        }
+        TraceEventKind::StallEnd { core, kind, waited } => {
+            fields.push(("core".into(), num(u64::from(core.as_u32()))));
+            fields.push(("stall".into(), s(kind.name())));
+            fields.push(("waited".into(), num(waited.as_u64())));
+        }
+        TraceEventKind::NocSend {
+            src,
+            dst,
+            class,
+            arrival,
+        } => {
+            fields.push(("src".into(), s(node_to_string(src))));
+            fields.push(("dst".into(), s(node_to_string(dst))));
+            fields.push(("class".into(), s(class.name())));
+            fields.push(("arrival".into(), num(arrival.as_u64())));
+        }
+    }
+    JsonValue::Object(fields)
+}
+
+fn get_u64(obj: &JsonValue, key: &str) -> Result<u64, DecodeError> {
+    obj.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| shape(format!("missing integer field '{key}'")))
+}
+
+fn get_str<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a str, DecodeError> {
+    obj.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| shape(format!("missing string field '{key}'")))
+}
+
+fn get_tag(obj: &JsonValue, prefix: &str) -> Result<EpochTag, DecodeError> {
+    let core = get_u64(obj, &format!("{prefix}core"))?;
+    let epoch = get_u64(obj, &format!("{prefix}epoch"))?;
+    Ok(EpochTag::new(CoreId::new(core as u32), EpochId::new(epoch)))
+}
+
+/// Decodes one event from its flat JSON object.
+pub fn event_from_json(obj: &JsonValue) -> Result<TraceEvent, DecodeError> {
+    let cycle = Cycle::new(get_u64(obj, "cycle")?);
+    let kind_name = get_str(obj, "kind")?;
+    let kind = match kind_name {
+        "epoch_phase" => TraceEventKind::EpochPhase {
+            tag: get_tag(obj, "")?,
+            phase: EpochPhase::parse(get_str(obj, "phase")?).ok_or_else(|| shape("bad phase"))?,
+        },
+        "flush_epoch" => TraceEventKind::FlushEpoch {
+            tag: get_tag(obj, "")?,
+            reason: FlushReason::parse(get_str(obj, "reason")?)
+                .ok_or_else(|| shape("bad reason"))?,
+        },
+        "bank_ack" => TraceEventKind::BankAck {
+            tag: get_tag(obj, "")?,
+            bank: BankId::new(get_u64(obj, "bank")? as u32),
+        },
+        "persist_cmp" => TraceEventKind::PersistCmp {
+            tag: get_tag(obj, "")?,
+        },
+        "idt_record" => TraceEventKind::IdtRecord {
+            source: get_tag(obj, "src_")?,
+            dependent: get_tag(obj, "dep_")?,
+        },
+        "idt_overflow" => TraceEventKind::IdtOverflow {
+            source: get_tag(obj, "src_")?,
+            dependent: get_tag(obj, "dep_")?,
+        },
+        "conflict_inter" => TraceEventKind::ConflictInter {
+            source: get_tag(obj, "src_")?,
+            dependent: get_tag(obj, "dep_")?,
+        },
+        "deadlock_split" => TraceEventKind::DeadlockSplit {
+            core: CoreId::new(get_u64(obj, "core")? as u32),
+            epoch: EpochId::new(get_u64(obj, "epoch")?),
+        },
+        "conflict_intra" => TraceEventKind::ConflictIntra {
+            core: CoreId::new(get_u64(obj, "core")? as u32),
+            epoch: EpochId::new(get_u64(obj, "epoch")?),
+        },
+        "stall_begin" => TraceEventKind::StallBegin {
+            core: CoreId::new(get_u64(obj, "core")? as u32),
+            kind: StallKind::parse(get_str(obj, "stall")?)
+                .ok_or_else(|| shape("bad stall kind"))?,
+            tag: get_tag(obj, "on_")?,
+        },
+        "stall_end" => TraceEventKind::StallEnd {
+            core: CoreId::new(get_u64(obj, "core")? as u32),
+            kind: StallKind::parse(get_str(obj, "stall")?)
+                .ok_or_else(|| shape("bad stall kind"))?,
+            waited: Cycle::new(get_u64(obj, "waited")?),
+        },
+        "noc_send" => TraceEventKind::NocSend {
+            src: node_from_str(get_str(obj, "src")?)?,
+            dst: node_from_str(get_str(obj, "dst")?)?,
+            class: NocClass::parse(get_str(obj, "class")?).ok_or_else(|| shape("bad noc class"))?,
+            arrival: Cycle::new(get_u64(obj, "arrival")?),
+        },
+        other => return Err(shape(format!("unknown event kind '{other}'"))),
+    };
+    Ok(TraceEvent::new(cycle, kind))
+}
+
+/// Exports events as a JSON document, one event object per line inside the
+/// array for greppability. Byte-identical for identical event streams.
+pub fn export_events(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"version\":");
+    out.push_str(&VERSION.to_string());
+    out.push_str(",\"events\":[\n");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&event_to_json(event).to_json());
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Parses a document produced by [`export_events`] back into events.
+pub fn parse_events(text: &str) -> Result<Vec<TraceEvent>, DecodeError> {
+    let doc = parse(text)?;
+    let version = get_u64(&doc, "version")?;
+    if version != VERSION {
+        return Err(shape(format!("unsupported version {version}")));
+    }
+    let events = doc
+        .get("events")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| shape("missing 'events' array"))?;
+    events.iter().map(event_from_json).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let t01 = EpochTag::new(CoreId::new(0), EpochId::new(1));
+        let t13 = EpochTag::new(CoreId::new(1), EpochId::new(3));
+        vec![
+            TraceEvent::new(
+                Cycle::new(10),
+                TraceEventKind::EpochPhase {
+                    tag: t01,
+                    phase: EpochPhase::Completed,
+                },
+            ),
+            TraceEvent::new(
+                Cycle::new(11),
+                TraceEventKind::FlushEpoch {
+                    tag: t01,
+                    reason: FlushReason::Conflict,
+                },
+            ),
+            TraceEvent::new(
+                Cycle::new(40),
+                TraceEventKind::BankAck {
+                    tag: t01,
+                    bank: BankId::new(2),
+                },
+            ),
+            TraceEvent::new(Cycle::new(55), TraceEventKind::PersistCmp { tag: t01 }),
+            TraceEvent::new(
+                Cycle::new(60),
+                TraceEventKind::IdtRecord {
+                    source: t01,
+                    dependent: t13,
+                },
+            ),
+            TraceEvent::new(
+                Cycle::new(61),
+                TraceEventKind::IdtOverflow {
+                    source: t13,
+                    dependent: t01,
+                },
+            ),
+            TraceEvent::new(
+                Cycle::new(62),
+                TraceEventKind::ConflictInter {
+                    source: t01,
+                    dependent: t13,
+                },
+            ),
+            TraceEvent::new(
+                Cycle::new(63),
+                TraceEventKind::ConflictIntra {
+                    core: CoreId::new(1),
+                    epoch: EpochId::new(2),
+                },
+            ),
+            TraceEvent::new(
+                Cycle::new(64),
+                TraceEventKind::DeadlockSplit {
+                    core: CoreId::new(0),
+                    epoch: EpochId::new(4),
+                },
+            ),
+            TraceEvent::new(
+                Cycle::new(70),
+                TraceEventKind::StallBegin {
+                    core: CoreId::new(1),
+                    kind: StallKind::OnlinePersist,
+                    tag: t01,
+                },
+            ),
+            TraceEvent::new(
+                Cycle::new(90),
+                TraceEventKind::StallEnd {
+                    core: CoreId::new(1),
+                    kind: StallKind::OnlinePersist,
+                    waited: Cycle::new(20),
+                },
+            ),
+            TraceEvent::new(
+                Cycle::new(95),
+                TraceEventKind::NocSend {
+                    src: NodeId::Core(CoreId::new(0)),
+                    dst: NodeId::Mc(McId::new(1)),
+                    class: NocClass::Writeback,
+                    arrival: Cycle::new(103),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let events = sample_events();
+        let text = export_events(&events);
+        let back = parse_events(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn export_is_byte_identical() {
+        let events = sample_events();
+        assert_eq!(export_events(&events), export_events(&events));
+    }
+
+    #[test]
+    fn node_strings_round_trip() {
+        for n in [
+            NodeId::Core(CoreId::new(0)),
+            NodeId::Bank(BankId::new(7)),
+            NodeId::Mc(McId::new(3)),
+        ] {
+            assert_eq!(node_from_str(&node_to_string(n)).unwrap(), n);
+        }
+        assert!(node_from_str("X9").is_err());
+        assert!(node_from_str("C").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_events("{}").is_err());
+        assert!(parse_events("{\"version\":99,\"events\":[]}").is_err());
+        assert!(
+            parse_events("{\"version\":1,\"events\":[{\"cycle\":1,\"kind\":\"nope\"}]}").is_err()
+        );
+        assert!(parse_events("{\"version\":1,\"events\":[{\"kind\":\"persist_cmp\"}]}").is_err());
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        let text = export_events(&[]);
+        assert_eq!(parse_events(&text).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Trace sinks: where recorded events go.
+
+use pbm_types::TraceEvent;
+use std::fmt::Debug;
+
+/// Destination for recorded trace events.
+///
+/// Implementations must be deterministic: no wall-clock reads, no
+/// iteration-order-dependent state.
+pub trait TraceSink: Debug {
+    /// True if this sink actually stores events. [`Observer`] caches this
+    /// at construction to keep the disabled path branch-predictable.
+    ///
+    /// [`Observer`]: crate::Observer
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Accepts one event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Removes and returns everything recorded so far, in record order.
+    /// Sinks that forward events elsewhere may return an empty vector.
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+}
+
+/// Sink that drops every event — the zero-cost default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// Sink that stores events in memory, in record order.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        TraceBuffer::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Read-only view of the buffered events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbm_types::{CoreId, Cycle, EpochId, EpochTag, TraceEventKind};
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        let mut s = NullSink;
+        assert!(!s.is_enabled());
+        s.record(TraceEvent::new(
+            Cycle::ZERO,
+            TraceEventKind::PersistCmp {
+                tag: EpochTag::new(CoreId::new(0), EpochId::FIRST),
+            },
+        ));
+        assert!(s.drain().is_empty());
+    }
+
+    #[test]
+    fn buffer_preserves_record_order() {
+        let mut s = TraceBuffer::new();
+        assert!(s.is_empty());
+        for c in [3u64, 1, 2] {
+            s.record(TraceEvent::new(
+                Cycle::new(c),
+                TraceEventKind::PersistCmp {
+                    tag: EpochTag::new(CoreId::new(0), EpochId::FIRST),
+                },
+            ));
+        }
+        assert_eq!(s.len(), 3);
+        let cycles: Vec<u64> = s.drain().iter().map(|e| e.cycle.as_u64()).collect();
+        assert_eq!(cycles, vec![3, 1, 2], "record order, not sorted");
+    }
+}

@@ -49,6 +49,7 @@ pub use pbm_cache as cache;
 pub use pbm_core as core;
 pub use pbm_noc as noc;
 pub use pbm_nvram as nvram;
+pub use pbm_obs as obs;
 pub use pbm_sim as sim;
 pub use pbm_types as types;
 pub use pbm_workloads as workloads;
@@ -62,7 +63,7 @@ pub mod prelude {
         Addr, BarrierKind, ConfigError, CoreId, Cycle, EpochId, EpochTag, FlushMode, LineAddr,
         PersistencyKind, SimStats, SystemConfig,
     };
-    pub use pbm_workloads::{micro, apps, Workload};
+    pub use pbm_workloads::{apps, micro, Workload};
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use crate::system::{FlushReason, System};
 use pbm_cache::{CacheLine, VictimChoice};
 use pbm_noc::MessageClass;
 use pbm_nvram::LineValue;
-use pbm_types::{BankId, BarrierKind, CoreId, Cycle, EpochTag, LineAddr, NodeId};
+use pbm_types::{BankId, BarrierKind, CoreId, Cycle, EpochTag, LineAddr, NodeId, TraceEventKind};
 
 /// Result of a demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +69,10 @@ impl System {
                     // Intra-thread conflict (§3.2): this line belongs to
                     // one of our earlier, un-persisted epochs.
                     self.stats.conflicts_intra += 1;
+                    self.emit(TraceEventKind::ConflictIntra {
+                        core,
+                        epoch: old.epoch,
+                    });
                     self.request_flush(core, old.epoch, FlushReason::Conflict);
                     return Access::Blocked { tag: old };
                 }
@@ -86,7 +90,7 @@ impl System {
         // ---------------- request to the home bank ----------------
         let b = self.bank_of(line);
         let bi = b.index();
-        let t_req = self.mesh.send(
+        let t_req = self.send_msg(
             Self::node_core(core),
             Self::node_bank(b),
             MessageClass::Control,
@@ -115,13 +119,13 @@ impl System {
                 if let Some(ol) = self.l1s[oi].array.peek(line).copied() {
                     if ol.is_dirty() {
                         // Forward request to the owner; it writes back.
-                        let t_fwd = self.mesh.send(
+                        let t_fwd = self.send_msg(
                             Self::node_bank(b),
                             Self::node_core(owner),
                             MessageClass::Control,
                             t,
                         );
-                        let t_data = self.mesh.send(
+                        let t_data = self.send_msg(
                             Self::node_core(owner),
                             Self::node_bank(b),
                             MessageClass::Data,
@@ -129,9 +133,7 @@ impl System {
                         );
                         match self.llc_accept_writeback(b, line, ol.value, ol.tag) {
                             Ok(()) => {}
-                            Err(blocker) => {
-                                return self.blocked_on(blocker, FlushReason::Conflict)
-                            }
+                            Err(blocker) => return self.blocked_on(blocker, FlushReason::Conflict),
                         }
                         // The owner keeps a clean shared copy on a remote
                         // load, or invalidates on a remote store.
@@ -172,6 +174,10 @@ impl System {
                     let new_tag = self.current_tag_for(core, line);
                     if is_store && Some(ltag) != new_tag {
                         self.stats.conflicts_intra += 1;
+                        self.emit(TraceEventKind::ConflictIntra {
+                            core,
+                            epoch: ltag.epoch,
+                        });
                         self.request_flush(core, ltag.epoch, FlushReason::Conflict);
                         return Access::Blocked { tag: ltag };
                     }
@@ -189,9 +195,7 @@ impl System {
             // Miss: fetch from NVRAM and install.
             self.stats.llc_misses += 1;
             let mc = self.mc_of(line);
-            let t_mc = self
-                .mesh
-                .send(Self::node_bank(b), NodeId::Mc(mc), MessageClass::Control, t);
+            let t_mc = self.send_msg(Self::node_bank(b), NodeId::Mc(mc), MessageClass::Control, t);
             let t_rd = self.mcs[mc.index()].schedule_read(t_mc);
             self.stats.nvram_reads += 1;
             value = self.nvram.read(line).unwrap_or(0);
@@ -199,9 +203,7 @@ impl System {
                 return self.blocked_on(blocker, FlushReason::Eviction);
             }
             self.banks[bi].array.install(CacheLine::clean(line, value));
-            t = self
-                .mesh
-                .send(NodeId::Mc(mc), Self::node_bank(b), MessageClass::Data, t_rd);
+            t = self.send_msg(NodeId::Mc(mc), Self::node_bank(b), MessageClass::Data, t_rd);
         }
 
         // ---------------- coherence permissions ----------------
@@ -209,7 +211,7 @@ impl System {
             let targets = self.banks[bi].dir.invalidation_targets(line, core);
             let mut t_inv = t;
             for c in targets {
-                let t_send = self.mesh.send(
+                let t_send = self.send_msg(
                     Self::node_bank(b),
                     Self::node_core(c),
                     MessageClass::Control,
@@ -217,7 +219,7 @@ impl System {
                 );
                 self.l1s[c.index()].array.remove(line);
                 self.l1s[c.index()].exclusive.remove(&line);
-                let t_ack = self.mesh.send(
+                let t_ack = self.send_msg(
                     Self::node_core(c),
                     Self::node_bank(b),
                     MessageClass::Control,
@@ -232,7 +234,7 @@ impl System {
         }
 
         // ---------------- data response + L1 install ----------------
-        let t_resp = self.mesh.send(
+        let t_resp = self.send_msg(
             Self::node_bank(b),
             Self::node_core(core),
             MessageClass::Data,
@@ -293,14 +295,13 @@ impl System {
         ) {
             // Token 0 marks a line that has never been written (the fill
             // value for absent NVRAM lines): its pre-image is "no value".
-            let durable_old = self
-                .l1s[i]
+            let durable_old = self.l1s[i]
                 .array
                 .peek(line)
                 .map(|l| l.value)
                 .filter(|v| *v != 0);
             let mc = self.mc_of(line);
-            let t_mc = self.mesh.send(
+            let t_mc = self.send_msg(
                 Self::node_core(core),
                 NodeId::Mc(mc),
                 MessageClass::Writeback,
@@ -320,7 +321,7 @@ impl System {
         if self.cfg.barrier == BarrierKind::WriteThrough {
             // Strict persistency: write through and wait for durability.
             let mc = self.mc_of(line);
-            let t_mc = self.mesh.send(
+            let t_mc = self.send_msg(
                 Self::node_core(core),
                 NodeId::Mc(mc),
                 MessageClass::Data,
@@ -329,7 +330,7 @@ impl System {
             let t_w = self.mcs[mc.index()].schedule_write(t_mc);
             self.nvram.persist(line, token, t_w);
             self.stats.nvram_writes += 1;
-            let t_ack = self.mesh.send(
+            let t_ack = self.send_msg(
                 NodeId::Mc(mc),
                 Self::node_core(core),
                 MessageClass::Control,
@@ -348,13 +349,21 @@ impl System {
         debug_assert_ne!(src.core, requestor);
         self.stats.conflicts_inter += 1;
         let src = self.ensure_flushable(src);
+        let dep_epoch = self.arbiters[requestor.index()].ledger().current();
+        let dep_tag = EpochTag::new(requestor, dep_epoch);
+        self.emit(TraceEventKind::ConflictInter {
+            source: src,
+            dependent: dep_tag,
+        });
         if self.cfg.barrier.has_idt() {
-            let dep_epoch = self.arbiters[requestor.index()].ledger().current();
-            let dep_tag = EpochTag::new(requestor, dep_epoch);
             let dep_ok = self.arbiters[requestor.index()]
                 .add_dependence(dep_epoch, src)
                 .is_ok();
             if dep_ok {
+                self.emit(TraceEventKind::IdtRecord {
+                    source: src,
+                    dependent: dep_tag,
+                });
                 // Inform-register side; overflow there is tolerable because
                 // persist notifications are also broadcast.
                 let _ = self.arbiters[src.core.index()].add_inform(src.epoch, dep_tag);
@@ -365,6 +374,10 @@ impl System {
             }
             // Dependence registers full: LB fallback (counted by the
             // arbiter's IDT overflow counter).
+            self.emit(TraceEventKind::IdtOverflow {
+                source: src,
+                dependent: dep_tag,
+            });
         }
         self.request_flush(src.core, src.epoch, FlushReason::Conflict);
         ConflictOutcome::Wait(src)
@@ -377,6 +390,11 @@ impl System {
         let j = tag.core.index();
         if self.arbiters[j].ledger().current() == tag.epoch {
             self.arbiters[j].split_current();
+            self.emit(TraceEventKind::DeadlockSplit {
+                core: tag.core,
+                epoch: tag.epoch,
+            });
+            self.emit_epoch_cut(tag.core, tag.epoch);
             self.cores[j].epoch_stores = 0;
             if self.cfg.barrier.has_pf() {
                 // PF treats the completed half like any completed epoch.
@@ -471,7 +489,7 @@ impl System {
                         // asynchronously; nobody waits for it.
                         let now = self.now;
                         let mc = self.mc_of(victim.addr);
-                        let t_mc = self.mesh.send(
+                        let t_mc = self.send_msg(
                             Self::node_bank(bank),
                             NodeId::Mc(mc),
                             MessageClass::Writeback,
@@ -507,7 +525,7 @@ impl System {
             let vb = self.bank_of(victim_addr);
             self.llc_accept_writeback(vb, victim_addr, victim.value, victim.tag)?;
             let now = self.now;
-            self.mesh.send(
+            self.send_msg(
                 Self::node_core(core),
                 Self::node_bank(vb),
                 MessageClass::Writeback,

@@ -1,6 +1,6 @@
 //! The discrete event queue.
 
-use pbm_types::{CoreId, Cycle, EpochId};
+use pbm_types::{BankId, CoreId, Cycle, EpochId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -9,8 +9,9 @@ use std::collections::BinaryHeap;
 pub enum Event {
     /// Execute (or retry) the core's current operation.
     Step(CoreId),
-    /// A `BankAck` for `(core, epoch)` arrived at the core's arbiter.
-    BankAck(CoreId, EpochId),
+    /// A `BankAck` for `(core, epoch)` from the given bank arrived at the
+    /// core's arbiter.
+    BankAck(CoreId, EpochId, BankId),
 }
 
 /// Time-ordered event queue. Ties break by insertion sequence, making the
@@ -60,12 +61,18 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(Cycle::new(10), Event::Step(CoreId::new(0)));
         q.schedule(Cycle::new(5), Event::Step(CoreId::new(1)));
-        q.schedule(Cycle::new(7), Event::BankAck(CoreId::new(2), EpochId::new(0)));
+        q.schedule(
+            Cycle::new(7),
+            Event::BankAck(CoreId::new(2), EpochId::new(0), BankId::new(3)),
+        );
         assert_eq!(q.len(), 3);
         assert_eq!(q.pop(), Some((Cycle::new(5), Event::Step(CoreId::new(1)))));
         assert_eq!(
             q.pop(),
-            Some((Cycle::new(7), Event::BankAck(CoreId::new(2), EpochId::new(0))))
+            Some((
+                Cycle::new(7),
+                Event::BankAck(CoreId::new(2), EpochId::new(0), BankId::new(3))
+            ))
         );
         assert_eq!(q.pop(), Some((Cycle::new(10), Event::Step(CoreId::new(0)))));
         assert!(q.pop().is_none());

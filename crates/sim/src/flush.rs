@@ -85,7 +85,7 @@ impl System {
                     // arbiter serializes this core's epoch flushes).
                     let now = self.now;
                     for b in 0..self.cfg.llc_banks {
-                        self.mesh.send(
+                        self.send_msg(
                             Self::node_core(tag.core),
                             Self::node_bank(BankId::new(b as u32)),
                             MessageClass::Control,
@@ -114,6 +114,17 @@ impl System {
         let t0 = self.now;
         let nbanks = self.cfg.llc_banks;
         self.flush_started.insert(tag, t0);
+        if self.obs.is_enabled() {
+            let reason = self.flush_reasons[i]
+                .get(&tag.epoch)
+                .copied()
+                .unwrap_or(FlushReason::Drain);
+            self.emit(pbm_types::TraceEventKind::FlushEpoch { tag, reason });
+            self.emit(pbm_types::TraceEventKind::EpochPhase {
+                tag,
+                phase: pbm_types::EpochPhase::Flushing,
+            });
+        }
 
         // BSP: checkpoint the processor state alongside the epoch.
         let mut chk_done = t0;
@@ -121,7 +132,7 @@ impl System {
             let lines = pbm_core::CheckpointModel::new(self.cfg.checkpoint_bytes).lines_per_epoch();
             for k in 0..lines {
                 let mc = McId::new((k % self.cfg.mcs as u64) as u32);
-                let t_mc = self.mesh.send(
+                let t_mc = self.send_msg(
                     Self::node_core(core),
                     NodeId::Mc(mc),
                     MessageClass::Writeback,
@@ -129,7 +140,7 @@ impl System {
                 );
                 let done = self.mcs[mc.index()].schedule_write(t_mc);
                 self.stats.checkpoint_writes += 1;
-                let t_ack = self.mesh.send(
+                let t_ack = self.send_msg(
                     NodeId::Mc(mc),
                     Self::node_core(core),
                     MessageClass::Control,
@@ -157,7 +168,7 @@ impl System {
                 .expect("indexed line resident")
                 .value;
             let b = self.bank_of(line);
-            let t_arr = self.mesh.send(
+            let t_arr = self.send_msg(
                 Self::node_core(core),
                 Self::node_bank(b),
                 MessageClass::Writeback,
@@ -189,20 +200,20 @@ impl System {
         let log_ready = self.log_ready.remove(&tag).unwrap_or(t0);
         for (bi, lines) in per_bank.into_iter().enumerate() {
             let b = BankId::new(bi as u32);
-            let t_fe = self.mesh.send(
+            let t_fe = self.send_msg(
                 Self::node_core(core),
                 Self::node_bank(b),
                 MessageClass::Control,
                 t0,
             );
-            let start = t_fe
-                .max(arrivals[bi])
-                .max(log_ready)
-                .max(if bi == 0 { chk_done } else { t0 });
+            let start =
+                t_fe.max(arrivals[bi])
+                    .max(log_ready)
+                    .max(if bi == 0 { chk_done } else { t0 });
             let mut done = start;
             for (line, value) in lines {
                 let mc = self.mc_of(line);
-                let t_mc = self.mesh.send(
+                let t_mc = self.send_msg(
                     Self::node_bank(b),
                     NodeId::Mc(mc),
                     MessageClass::Writeback,
@@ -211,7 +222,7 @@ impl System {
                 let t_w = self.mcs[mc.index()].schedule_write(t_mc);
                 self.nvram.persist(line, value, t_w);
                 self.stats.nvram_writes += 1;
-                let t_ack = self.mesh.send(
+                let t_ack = self.send_msg(
                     NodeId::Mc(mc),
                     Self::node_bank(b),
                     MessageClass::Control,
@@ -219,13 +230,14 @@ impl System {
                 );
                 done = done.max(t_ack);
             }
-            let t_ba = self.mesh.send(
+            let t_ba = self.send_msg(
                 Self::node_bank(b),
                 Self::node_core(core),
                 MessageClass::Control,
                 done,
             );
-            self.queue.schedule(t_ba, Event::BankAck(core, tag.epoch));
+            self.queue
+                .schedule(t_ba, Event::BankAck(core, tag.epoch, b));
         }
     }
 
@@ -275,6 +287,13 @@ impl System {
     /// (broadcast), and waiter wakeups.
     fn on_epoch_persisted(&mut self, tag: EpochTag) {
         let now = self.now;
+        if self.obs.is_enabled() {
+            self.emit(pbm_types::TraceEventKind::PersistCmp { tag });
+            self.emit(pbm_types::TraceEventKind::EpochPhase {
+                tag,
+                phase: pbm_types::EpochPhase::Persisted,
+            });
+        }
         self.clear_epoch_lines(tag);
         self.stats.epochs_persisted += 1;
         if let Some(start) = self.flush_started.remove(&tag) {
@@ -294,7 +313,7 @@ impl System {
         // BSP: write the epoch's commit marker to the log region.
         if self.sem.needs_logging() && self.cfg.logging {
             let mc = McId::new((tag.epoch.as_u64() % self.cfg.mcs as u64) as u32);
-            let t_mc = self.mesh.send(
+            let t_mc = self.send_msg(
                 Self::node_core(tag.core),
                 NodeId::Mc(mc),
                 MessageClass::Control,

@@ -5,11 +5,12 @@ use crate::op::{Op, Program};
 use pbm_cache::CacheArray;
 use pbm_core::recovery::ConsistencyChecker;
 use pbm_core::{BarrierSemantics, EpochArbiter};
-use pbm_noc::Mesh;
+use pbm_noc::{Mesh, MessageClass};
 use pbm_nvram::{DurableSnapshot, LineValue, McTiming, NvramDevice, UndoLog};
+use pbm_obs::{Observer, Sampler};
 use pbm_types::{
-    Addr, BankId, BarrierKind, ConfigError, CoreId, Cycle, EpochId, EpochTag, LineAddr,
-    SimStats, SystemConfig,
+    Addr, BankId, BarrierKind, ConfigError, CoreId, Cycle, EpochId, EpochPhase, EpochTag, LineAddr,
+    MetricSample, NodeId, SimStats, SystemConfig, TraceEvent, TraceEventKind,
 };
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
@@ -20,30 +21,7 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 /// persistence) the boundary is ignored and everything is tagged.
 pub const VOLATILE_BASE: u64 = 1 << 40;
 
-/// Why an epoch flush was requested — the attribution behind Figure 12.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FlushReason {
-    /// An intra- or inter-thread epoch conflict demanded the flush
-    /// (an *online* persist).
-    Conflict,
-    /// A cache eviction needed a tagged victim persisted first.
-    Eviction,
-    /// Proactive flushing on epoch completion (PF, offline).
-    Proactive,
-    /// The in-flight epoch window (3-bit epoch id) filled up.
-    BackPressure,
-    /// An EP-model barrier stalled for the epoch (rule E2).
-    Barrier,
-    /// End-of-run drain.
-    Drain,
-}
-
-/// Why a core is currently stalled (for cycle attribution).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum StallKind {
-    OnlinePersist,
-    Barrier,
-}
+pub use pbm_types::{FlushReason, StallKind};
 
 #[derive(Debug)]
 pub(crate) struct CoreState {
@@ -123,6 +101,9 @@ pub struct System {
     pub(crate) token_seq: u64,
     pub(crate) checker: Option<ConsistencyChecker>,
     pub(crate) stats: SimStats,
+    /// Observability hook: cycle-stamped event tracing and periodic
+    /// metric sampling. Disabled (zero-cost) by default.
+    pub(crate) obs: Observer,
 }
 
 impl System {
@@ -187,6 +168,7 @@ impl System {
             token_seq: 1,
             checker: None,
             stats: SimStats::new(),
+            obs: Observer::disabled(),
             cfg,
         })
     }
@@ -197,6 +179,123 @@ impl System {
     pub fn enable_checking(&mut self) {
         self.nvram = NvramDevice::with_history();
         self.checker = Some(ConsistencyChecker::new());
+    }
+
+    /// Replaces the observer wholesale (custom sink / sampler setups).
+    /// Call before [`System::run`].
+    pub fn set_observer(&mut self, obs: Observer) {
+        self.obs = obs;
+    }
+
+    /// Enables cycle-stamped event tracing into an in-memory buffer,
+    /// preserving any sampler already attached. Retrieve the events after
+    /// the run with [`System::take_trace_events`].
+    pub fn enable_tracing(&mut self) {
+        let old = std::mem::take(&mut self.obs);
+        let mut obs = Observer::buffering();
+        if let Some(s) = old.into_sampler() {
+            obs = obs.with_sampler(s);
+        }
+        self.obs = obs;
+    }
+
+    /// Enables periodic metric sampling every `interval` cycles,
+    /// preserving the current sink. Retrieve the rows after the run with
+    /// [`System::take_metric_samples`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn enable_metrics(&mut self, interval: Cycle) {
+        let old = std::mem::take(&mut self.obs);
+        self.obs = old.with_sampler(Sampler::every(interval));
+    }
+
+    /// Drains the trace events recorded so far (empty unless
+    /// [`System::enable_tracing`] was called).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.obs.take_events()
+    }
+
+    /// Drains the metric samples collected so far (empty unless
+    /// [`System::enable_metrics`] was called).
+    pub fn take_metric_samples(&mut self) -> Vec<MetricSample> {
+        self.obs.take_samples()
+    }
+
+    /// Records a trace event at the current cycle. The kinds are plain
+    /// `Copy` structs, so constructing one unconditionally costs nothing
+    /// observable; the observer's `enabled` flag gates the sink call.
+    #[inline]
+    pub(crate) fn emit(&mut self, kind: TraceEventKind) {
+        if self.obs.is_enabled() {
+            self.obs.record(TraceEvent::new(self.now, kind));
+        }
+    }
+
+    /// Sends a message on the mesh, tracing the injection when enabled.
+    /// All protocol traffic goes through here (never `self.mesh.send`
+    /// directly) so the NoC track in exported traces is complete.
+    #[inline]
+    pub(crate) fn send_msg(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        class: MessageClass,
+        at: Cycle,
+    ) -> Cycle {
+        let arrival = self.mesh.send(src, dst, class, at);
+        if self.obs.is_enabled() {
+            self.obs.record(TraceEvent::new(
+                at,
+                TraceEventKind::NocSend {
+                    src,
+                    dst,
+                    class: class.obs_class(),
+                    arrival,
+                },
+            ));
+        }
+        arrival
+    }
+
+    /// Takes a metric sample if the sampler is attached and due at the
+    /// current cycle. Called whenever simulated time advances.
+    #[inline]
+    fn maybe_sample(&mut self) {
+        if !self.obs.sample_due(self.now) {
+            return;
+        }
+        let sample = MetricSample {
+            cycle: self.now,
+            mc_queue_depth: self.mcs.iter().map(|m| m.pending_writes(self.now)).sum(),
+            nvram_writes: self.stats.nvram_writes
+                + self.stats.log_writes
+                + self.stats.checkpoint_writes,
+            nvram_reads: self.stats.nvram_reads,
+            noc_messages: self.mesh.message_count(),
+            epochs_persisted: self.stats.epochs_persisted,
+            stalled_cores: self.cores.iter().filter(|c| c.stalled.is_some()).count() as u32,
+            online_stall_cycles: self.stats.online_persist_stall_cycles,
+            barrier_stall_cycles: self.stats.barrier_stall_cycles,
+        };
+        self.obs.push_sample(sample);
+    }
+
+    /// Emits the epoch-lifecycle pair for a barrier/split cut: the closed
+    /// epoch completes and the arbiter's new current epoch opens.
+    pub(crate) fn emit_epoch_cut(&mut self, core: CoreId, closed: EpochId) {
+        if self.obs.is_enabled() {
+            let opened = self.arbiters[core.index()].ledger().current_tag();
+            self.emit(TraceEventKind::EpochPhase {
+                tag: EpochTag::new(core, closed),
+                phase: EpochPhase::Completed,
+            });
+            self.emit(TraceEventKind::EpochPhase {
+                tag: opened,
+                phase: EpochPhase::Ongoing,
+            });
+        }
     }
 
     /// The configuration in use.
@@ -243,8 +342,19 @@ impl System {
     /// flush never completes) — that is a protocol bug, not a workload
     /// condition.
     pub fn run(&mut self) -> SimStats {
+        if self.obs.is_enabled() && self.epochs_enabled() {
+            // Open every core's first epoch on the trace timeline.
+            for i in 0..self.cores.len() {
+                let tag = self.arbiters[i].ledger().current_tag();
+                self.emit(TraceEventKind::EpochPhase {
+                    tag,
+                    phase: EpochPhase::Ongoing,
+                });
+            }
+        }
         for i in 0..self.cores.len() {
-            self.queue.schedule(Cycle::ZERO, Event::Step(CoreId::new(i as u32)));
+            self.queue
+                .schedule(Cycle::ZERO, Event::Step(CoreId::new(i as u32)));
         }
         self.drain_queue();
         let unfinished: Vec<usize> = self
@@ -271,6 +381,7 @@ impl System {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.mesh.advance_to(t);
+            self.maybe_sample();
             processed += 1;
             if processed > budget {
                 panic!(
@@ -281,7 +392,11 @@ impl System {
             }
             match ev {
                 Event::Step(core) => self.step_core(core),
-                Event::BankAck(core, epoch) => {
+                Event::BankAck(core, epoch, bank) => {
+                    self.emit(TraceEventKind::BankAck {
+                        tag: EpochTag::new(core, epoch),
+                        bank,
+                    });
                     let actions = self.arbiters[core.index()].bank_ack(epoch);
                     self.apply_actions(core, actions);
                     // The next epoch of this core may have stalled on IDT
@@ -341,12 +456,10 @@ impl System {
             // Close the ongoing epoch if it dirtied anything.
             let tag = self.arbiters[i].ledger().current_tag();
             let has_lines = self.l1s[i].array.epoch_len(tag) > 0
-                || self
-                    .banks
-                    .iter()
-                    .any(|b| b.array.epoch_len(tag) > 0);
+                || self.banks.iter().any(|b| b.array.epoch_len(tag) > 0);
             if has_lines {
-                self.arbiters[i].barrier();
+                let closed = self.arbiters[i].barrier();
+                self.emit_epoch_cut(core, closed);
             }
             if let Some(frontier) = self.arbiters[i].ledger().first_unpersisted() {
                 let last_completed = self.arbiters[i].ledger().current().prev();
@@ -460,6 +573,11 @@ impl System {
                 StallKind::OnlinePersist => self.stats.online_persist_stall_cycles += waited,
                 StallKind::Barrier => self.stats.barrier_stall_cycles += waited,
             }
+            self.emit(TraceEventKind::StallEnd {
+                core,
+                kind,
+                waited: Cycle::new(waited),
+            });
         }
         // A hardware epoch cut is due before anything else.
         if self.cores[i].pending_auto_barrier {
@@ -498,27 +616,25 @@ impl System {
                 self.stats.transactions += 1;
                 StepOutcome::Next(now + 1)
             }
-            Op::Load(addr) => {
-                match self.do_access(core, addr.line(), None) {
-                    crate::access::Access::Done { at } => {
-                        self.stats.loads += 1;
-                        self.stats.load_cycles += (at - now).as_u64();
-                        #[cfg(feature = "trace-loads")]
-                        if (at - now).as_u64() > 500 {
-                            eprintln!(
-                                "slow load: core={core} line={} lat={}",
-                                addr.line(),
-                                (at - now).as_u64()
-                            );
-                        }
-                        StepOutcome::Next(at)
+            Op::Load(addr) => match self.do_access(core, addr.line(), None) {
+                crate::access::Access::Done { at } => {
+                    self.stats.loads += 1;
+                    self.stats.load_cycles += (at - now).as_u64();
+                    #[cfg(feature = "trace-loads")]
+                    if (at - now).as_u64() > 500 {
+                        eprintln!(
+                            "slow load: core={core} line={} lat={}",
+                            addr.line(),
+                            (at - now).as_u64()
+                        );
                     }
-                    crate::access::Access::Blocked { tag } => {
-                        self.park(core, tag, StallKind::OnlinePersist);
-                        StepOutcome::Blocked
-                    }
+                    StepOutcome::Next(at)
                 }
-            }
+                crate::access::Access::Blocked { tag } => {
+                    self.park(core, tag, StallKind::OnlinePersist);
+                    StepOutcome::Blocked
+                }
+            },
             Op::Store(addr, value) => self.exec_store(core, addr, value),
             Op::Barrier => match self.exec_barrier(core) {
                 BarrierOutcome::Done(at) => StepOutcome::Next(at),
@@ -596,6 +712,7 @@ impl System {
             return BarrierOutcome::Blocked;
         }
         let closed = self.arbiters[i].barrier();
+        self.emit_epoch_cut(core, closed);
         self.stats.barriers += 1;
         self.cores[i].epoch_stores = 0;
         if self.sem.barrier_stalls() {
@@ -665,6 +782,7 @@ impl System {
         );
         self.stats.parks += 1;
         self.cores[core.index()].stalled = Some((self.now, kind));
+        self.emit(TraceEventKind::StallBegin { core, kind, tag });
         self.waiters.entry(tag).or_default().push(core);
     }
 }

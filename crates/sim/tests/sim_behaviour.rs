@@ -155,7 +155,9 @@ fn idt_records_instead_of_flushing() {
     let mut p0 = ProgramBuilder::new();
     p0.store(Addr::new(0), 7).barrier().compute(200_000);
     let mut p1 = ProgramBuilder::new();
-    p1.compute(50_000).load(Addr::new(0)).store(Addr::new(64), 1);
+    p1.compute(50_000)
+        .load(Addr::new(0))
+        .store(Addr::new(64), 1);
     let mut sys = System::new(cfg(BarrierKind::LbIdt), vec![p0.build(), p1.build()]).unwrap();
     sys.enable_checking();
     let stats = sys.run();

@@ -1,0 +1,458 @@
+//! Observability vocabulary: structured trace events and metric samples.
+//!
+//! These types describe *what happened* inside a simulation at a given
+//! cycle. They live in `pbm-types` so that every layer (core, sim, noc,
+//! nvram) can emit them without depending on the `pbm-obs` crate, which
+//! owns collection, sampling and export.
+
+use crate::ids::{BankId, CoreId, EpochId, EpochTag, NodeId};
+use crate::time::Cycle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why an epoch flush was requested — the attribution behind Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FlushReason {
+    /// An intra- or inter-thread epoch conflict demanded the flush
+    /// (an *online* persist).
+    Conflict,
+    /// A cache eviction needed a tagged victim persisted first.
+    Eviction,
+    /// Proactive flushing on epoch completion (PF, offline).
+    Proactive,
+    /// The in-flight epoch window (3-bit epoch id) filled up.
+    BackPressure,
+    /// An EP-model barrier stalled for the epoch (rule E2).
+    Barrier,
+    /// End-of-run drain.
+    Drain,
+}
+
+impl FlushReason {
+    /// Every variant, in a fixed order (for tables and round-trip codecs).
+    pub const ALL: [FlushReason; 6] = [
+        FlushReason::Conflict,
+        FlushReason::Eviction,
+        FlushReason::Proactive,
+        FlushReason::BackPressure,
+        FlushReason::Barrier,
+        FlushReason::Drain,
+    ];
+
+    /// Stable lower-case name used in exported traces.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FlushReason::Conflict => "conflict",
+            FlushReason::Eviction => "eviction",
+            FlushReason::Proactive => "proactive",
+            FlushReason::BackPressure => "backpressure",
+            FlushReason::Barrier => "barrier",
+            FlushReason::Drain => "drain",
+        }
+    }
+
+    /// Parses the name produced by [`FlushReason::name`].
+    pub fn parse(s: &str) -> Option<FlushReason> {
+        FlushReason::ALL.into_iter().find(|r| r.name() == s)
+    }
+}
+
+impl fmt::Display for FlushReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a core is stalled (for cycle attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StallKind {
+    /// Waiting for an epoch to persist online (conflict or eviction).
+    OnlinePersist,
+    /// Stalled at a persist barrier (EP rule E2, or BEP in-flight-epoch
+    /// back-pressure).
+    Barrier,
+}
+
+impl StallKind {
+    /// Every variant, in a fixed order.
+    pub const ALL: [StallKind; 2] = [StallKind::OnlinePersist, StallKind::Barrier];
+
+    /// Stable lower-case name used in exported traces.
+    pub const fn name(self) -> &'static str {
+        match self {
+            StallKind::OnlinePersist => "online_persist",
+            StallKind::Barrier => "barrier",
+        }
+    }
+
+    /// Parses the name produced by [`StallKind::name`].
+    pub fn parse(s: &str) -> Option<StallKind> {
+        StallKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Lifecycle phase of an epoch, mirroring the arbiter FSM in `pbm-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EpochPhase {
+    /// Open and accepting stores.
+    Ongoing,
+    /// Closed by a barrier, not yet flushing.
+    Completed,
+    /// FlushEpoch issued; persists in flight.
+    Flushing,
+    /// PersistCMP received; durable.
+    Persisted,
+}
+
+impl EpochPhase {
+    /// Every variant, in FSM order.
+    pub const ALL: [EpochPhase; 4] = [
+        EpochPhase::Ongoing,
+        EpochPhase::Completed,
+        EpochPhase::Flushing,
+        EpochPhase::Persisted,
+    ];
+
+    /// Stable lower-case name used in exported traces.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EpochPhase::Ongoing => "ongoing",
+            EpochPhase::Completed => "completed",
+            EpochPhase::Flushing => "flushing",
+            EpochPhase::Persisted => "persisted",
+        }
+    }
+
+    /// Parses the name produced by [`EpochPhase::name`].
+    pub fn parse(s: &str) -> Option<EpochPhase> {
+        EpochPhase::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl fmt::Display for EpochPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Virtual-network class of a traced NoC message (mirrors
+/// `pbm-noc::MessageClass` without the dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NocClass {
+    /// Coherence/persistence control (single flit).
+    Control,
+    /// Data responses (line-sized).
+    Data,
+    /// Writebacks / persists (line-sized).
+    Writeback,
+}
+
+impl NocClass {
+    /// Every variant, in vnet order.
+    pub const ALL: [NocClass; 3] = [NocClass::Control, NocClass::Data, NocClass::Writeback];
+
+    /// Stable lower-case name used in exported traces.
+    pub const fn name(self) -> &'static str {
+        match self {
+            NocClass::Control => "control",
+            NocClass::Data => "data",
+            NocClass::Writeback => "writeback",
+        }
+    }
+
+    /// Parses the name produced by [`NocClass::name`].
+    pub fn parse(s: &str) -> Option<NocClass> {
+        NocClass::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+impl fmt::Display for NocClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One cycle-stamped observation from the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated cycle at which the event happened.
+    pub cycle: Cycle,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// Creates an event.
+    pub const fn new(cycle: Cycle, kind: TraceEventKind) -> Self {
+        TraceEvent { cycle, kind }
+    }
+}
+
+/// The payload of a [`TraceEvent`] — one per instrumentation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// An epoch moved to a new lifecycle phase.
+    EpochPhase {
+        /// The epoch.
+        tag: EpochTag,
+        /// The phase entered.
+        phase: EpochPhase,
+    },
+    /// The arbiter issued FlushEpoch to the LLC banks (handshake step 1).
+    FlushEpoch {
+        /// The epoch being flushed.
+        tag: EpochTag,
+        /// Why the flush was requested.
+        reason: FlushReason,
+    },
+    /// A bank finished persisting its lines for an epoch (handshake step 3).
+    BankAck {
+        /// The epoch.
+        tag: EpochTag,
+        /// The acknowledging bank.
+        bank: BankId,
+    },
+    /// The arbiter broadcast PersistCMP for an epoch (handshake step 4).
+    PersistCmp {
+        /// The epoch that is now durable.
+        tag: EpochTag,
+    },
+    /// An inter-thread dependence was recorded in an IDT register pair
+    /// instead of flushing online.
+    IdtRecord {
+        /// Epoch that must persist first.
+        source: EpochTag,
+        /// Epoch that depends on it.
+        dependent: EpochTag,
+    },
+    /// All IDT register pairs were busy; the conflict fell back to an
+    /// online flush.
+    IdtOverflow {
+        /// Epoch that must persist first.
+        source: EpochTag,
+        /// Epoch that depends on it.
+        dependent: EpochTag,
+    },
+    /// The deadlock-avoidance mechanism split an epoch (§3.3).
+    DeadlockSplit {
+        /// Core whose current epoch was cut.
+        core: CoreId,
+        /// The epoch that was closed by the split.
+        epoch: EpochId,
+    },
+    /// An intra-thread epoch conflict was detected (§3.2).
+    ConflictIntra {
+        /// Core that touched its own unpersisted earlier epoch's line.
+        core: CoreId,
+        /// The earlier epoch that must now flush.
+        epoch: EpochId,
+    },
+    /// An inter-thread epoch conflict was detected (§3.1).
+    ConflictInter {
+        /// Epoch owning the conflicting line.
+        source: EpochTag,
+        /// Epoch of the accessing core.
+        dependent: EpochTag,
+    },
+    /// A core stalled.
+    StallBegin {
+        /// The stalled core.
+        core: CoreId,
+        /// Why it stalled.
+        kind: StallKind,
+        /// The epoch it is waiting on.
+        tag: EpochTag,
+    },
+    /// A previously stalled core resumed.
+    StallEnd {
+        /// The core that resumed.
+        core: CoreId,
+        /// Why it had stalled.
+        kind: StallKind,
+        /// Cycles spent stalled.
+        waited: Cycle,
+    },
+    /// A message was injected into the on-chip network.
+    NocSend {
+        /// Injecting node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Virtual-network class.
+        class: NocClass,
+        /// Cycle at which the message will be delivered.
+        arrival: Cycle,
+    },
+}
+
+impl TraceEventKind {
+    /// Stable snake_case name of the event kind (used as the Chrome trace
+    /// event name and in the JSON codec).
+    pub const fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::EpochPhase { .. } => "epoch_phase",
+            TraceEventKind::FlushEpoch { .. } => "flush_epoch",
+            TraceEventKind::BankAck { .. } => "bank_ack",
+            TraceEventKind::PersistCmp { .. } => "persist_cmp",
+            TraceEventKind::IdtRecord { .. } => "idt_record",
+            TraceEventKind::IdtOverflow { .. } => "idt_overflow",
+            TraceEventKind::DeadlockSplit { .. } => "deadlock_split",
+            TraceEventKind::ConflictIntra { .. } => "conflict_intra",
+            TraceEventKind::ConflictInter { .. } => "conflict_inter",
+            TraceEventKind::StallBegin { .. } => "stall_begin",
+            TraceEventKind::StallEnd { .. } => "stall_end",
+            TraceEventKind::NocSend { .. } => "noc_send",
+        }
+    }
+}
+
+/// One row of the periodic time-series sample (exported as metrics CSV).
+///
+/// Counter fields are *cumulative* at the sample instant, so consumers can
+/// difference adjacent rows for rates (e.g. NVRAM write bandwidth); gauge
+/// fields (`mc_queue_depth`, `stalled_cores`) are instantaneous.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Sample instant.
+    pub cycle: Cycle,
+    /// Writes queued across all memory controllers and not yet retired
+    /// (instantaneous).
+    pub mc_queue_depth: u64,
+    /// Cumulative line writes to NVRAM (data + log + checkpoint).
+    pub nvram_writes: u64,
+    /// Cumulative line reads from NVRAM.
+    pub nvram_reads: u64,
+    /// Cumulative messages injected into the NoC.
+    pub noc_messages: u64,
+    /// Cumulative epochs fully persisted.
+    pub epochs_persisted: u64,
+    /// Cores currently parked on a stall (instantaneous).
+    pub stalled_cores: u32,
+    /// Cumulative cycles stalled on online persists (all cores).
+    pub online_stall_cycles: u64,
+    /// Cumulative cycles stalled at barriers (all cores).
+    pub barrier_stall_cycles: u64,
+}
+
+impl MetricSample {
+    /// The CSV header matching [`MetricSample::csv_row`].
+    pub const CSV_HEADER: &'static str = "cycle,mc_queue_depth,nvram_writes,nvram_reads,\
+noc_messages,epochs_persisted,stalled_cores,online_stall_cycles,barrier_stall_cycles";
+
+    /// Renders the sample as one CSV row (no trailing newline).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{}",
+            self.cycle.as_u64(),
+            self.mc_queue_depth,
+            self.nvram_writes,
+            self.nvram_reads,
+            self.noc_messages,
+            self.epochs_persisted,
+            self.stalled_cores,
+            self.online_stall_cycles,
+            self.barrier_stall_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for r in FlushReason::ALL {
+            assert_eq!(FlushReason::parse(r.name()), Some(r));
+        }
+        for k in StallKind::ALL {
+            assert_eq!(StallKind::parse(k.name()), Some(k));
+        }
+        for p in EpochPhase::ALL {
+            assert_eq!(EpochPhase::parse(p.name()), Some(p));
+        }
+        for c in NocClass::ALL {
+            assert_eq!(NocClass::parse(c.name()), Some(c));
+        }
+        assert_eq!(FlushReason::parse("bogus"), None);
+    }
+
+    #[test]
+    fn event_kind_names_are_distinct() {
+        let tag = EpochTag::new(CoreId::new(0), EpochId::FIRST);
+        let kinds = [
+            TraceEventKind::EpochPhase {
+                tag,
+                phase: EpochPhase::Ongoing,
+            },
+            TraceEventKind::FlushEpoch {
+                tag,
+                reason: FlushReason::Conflict,
+            },
+            TraceEventKind::BankAck {
+                tag,
+                bank: BankId::new(0),
+            },
+            TraceEventKind::PersistCmp { tag },
+            TraceEventKind::IdtRecord {
+                source: tag,
+                dependent: tag,
+            },
+            TraceEventKind::IdtOverflow {
+                source: tag,
+                dependent: tag,
+            },
+            TraceEventKind::DeadlockSplit {
+                core: CoreId::new(0),
+                epoch: EpochId::FIRST,
+            },
+            TraceEventKind::ConflictIntra {
+                core: CoreId::new(0),
+                epoch: EpochId::FIRST,
+            },
+            TraceEventKind::ConflictInter {
+                source: tag,
+                dependent: tag,
+            },
+            TraceEventKind::StallBegin {
+                core: CoreId::new(0),
+                kind: StallKind::Barrier,
+                tag,
+            },
+            TraceEventKind::StallEnd {
+                core: CoreId::new(0),
+                kind: StallKind::Barrier,
+                waited: Cycle::new(5),
+            },
+            TraceEventKind::NocSend {
+                src: NodeId::Core(CoreId::new(0)),
+                dst: NodeId::Bank(BankId::new(1)),
+                class: NocClass::Control,
+                arrival: Cycle::new(9),
+            },
+        ];
+        let mut names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn metric_sample_csv_matches_header() {
+        let s = MetricSample {
+            cycle: Cycle::new(100),
+            mc_queue_depth: 3,
+            ..MetricSample::default()
+        };
+        let header_cols = MetricSample::CSV_HEADER.split(',').count();
+        let row = s.csv_row();
+        assert_eq!(row.split(',').count(), header_cols);
+        assert!(row.starts_with("100,3,"));
+    }
+}

@@ -74,6 +74,47 @@ impl Histogram {
         }
     }
 
+    /// The `p`-th percentile (0–100), estimated from the bucket structure.
+    ///
+    /// Returns the upper bound of the smallest bucket whose cumulative
+    /// count reaches `p` percent of samples, clamped to the largest sample
+    /// actually observed. Returns 0 for an empty histogram.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pbm_types::Histogram;
+    /// let mut h = Histogram::new();
+    /// for _ in 0..99 { h.record(10); }
+    /// h.record(1000);
+    /// assert_eq!(h.percentile(50.0), 15); // bucket [8, 16)
+    /// assert_eq!(h.percentile(100.0), 1000);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -92,14 +133,33 @@ impl Default for Histogram {
 }
 
 impl fmt::Display for Histogram {
+    /// One-line summary with percentiles; the alternate flag (`{:#}`)
+    /// appends a bar chart of the occupied power-of-two buckets.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} mean={:.1} max={}",
+            "n={} mean={:.1} p50={} p95={} p99={} max={}",
             self.count,
             self.mean(),
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
             self.max
-        )
+        )?;
+        if !f.alternate() || self.count == 0 {
+            return Ok(());
+        }
+        const BAR_WIDTH: u64 = 40;
+        let lo = self.buckets.iter().position(|&n| n > 0).unwrap_or(0);
+        let hi = self.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+        let peak = *self.buckets.iter().max().unwrap_or(&1);
+        for (i, &n) in self.buckets.iter().enumerate().take(hi + 1).skip(lo) {
+            let bar = (n * BAR_WIDTH).div_ceil(peak.max(1)) as usize;
+            let lower = if i == 0 { 0 } else { 1u64 << i };
+            writeln!(f)?;
+            write!(f, "  {:>12} |{:<40}| {}", lower, "#".repeat(bar), n)?;
+        }
+        Ok(())
     }
 }
 
@@ -286,6 +346,45 @@ mod tests {
     #[test]
     fn empty_histogram_mean_is_zero() {
         assert_eq!(Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_follow_buckets() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        for _ in 0..90 {
+            h.record(100); // bucket [64, 128)
+        }
+        for _ in 0..10 {
+            h.record(5000); // bucket [4096, 8192)
+        }
+        assert_eq!(h.percentile(50.0), 127);
+        assert_eq!(h.percentile(90.0), 127);
+        assert_eq!(h.percentile(95.0), 5000); // clamped to observed max
+        assert_eq!(h.percentile(99.0), 5000);
+        assert_eq!(h.percentile(0.0), 127); // smallest non-empty bucket
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        let mut h = Histogram::new();
+        h.record(42);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 42);
+        }
+    }
+
+    #[test]
+    fn display_has_percentiles_and_alternate_bars() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(300);
+        let plain = format!("{h}");
+        assert!(plain.contains("p50="));
+        assert!(!plain.contains('#'));
+        let bars = format!("{h:#}");
+        assert!(bars.contains('#'));
+        assert!(bars.lines().count() > 1);
     }
 
     #[test]

@@ -169,10 +169,7 @@ pub const PROFILES: [AppProfile; 9] = [
 /// are emitted: under BSP bulk mode the hardware cuts epochs.
 pub fn build(profile: &AppProfile, params: &AppParams) -> Workload {
     let mut heap = PersistentHeap::new();
-    let shared_base = heap.alloc(
-        HeapRegion::Persistent,
-        profile.shared_lines * LINE_SIZE,
-    );
+    let shared_base = heap.alloc(HeapRegion::Persistent, profile.shared_lines * LINE_SIZE);
     let private_bases: Vec<Addr> = (0..params.threads)
         .map(|_| heap.alloc(HeapRegion::Persistent, profile.private_lines * LINE_SIZE))
         .collect();
@@ -237,8 +234,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "canneal", "dedup", "freqmine", "barnes", "cholesky", "radix", "intruder",
-                "ssca2", "vacation"
+                "canneal", "dedup", "freqmine", "barnes", "cholesky", "radix", "intruder", "ssca2",
+                "vacation"
             ]
         );
     }

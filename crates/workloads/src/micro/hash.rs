@@ -32,8 +32,9 @@ pub fn hash(params: &MicroParams) -> Workload {
     let (lock_base, lock_stride) = heap.alloc_array(HeapRegion::Volatile, 8, buckets as u64);
 
     let header = |b: usize| Addr::new(header_base.as_u64() + b as u64 * header_stride);
-    let entry =
-        |b: usize, s: usize| Addr::new(entry_base.as_u64() + (b * SLOTS_PER_BUCKET + s) as u64 * entry_stride);
+    let entry = |b: usize, s: usize| {
+        Addr::new(entry_base.as_u64() + (b * SLOTS_PER_BUCKET + s) as u64 * entry_stride)
+    };
     let lock = |b: usize| Addr::new(lock_base.as_u64() + b as u64 * lock_stride);
 
     // Host-side mirror: slot occupancy per bucket.
@@ -57,9 +58,8 @@ pub fn hash(params: &MicroParams) -> Workload {
         preloads.push((header(b), mask));
     }
 
-    let mut builders: Vec<ProgramBuilder> = (0..params.threads)
-        .map(|_| ProgramBuilder::new())
-        .collect();
+    let mut builders: Vec<ProgramBuilder> =
+        (0..params.threads).map(|_| ProgramBuilder::new()).collect();
 
     // Generate transactions in a global round-robin so the shared mirror
     // assigns each insert a distinct slot.

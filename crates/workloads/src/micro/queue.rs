@@ -42,9 +42,8 @@ pub fn queue(params: &MicroParams) -> Workload {
     preloads.push((head_ptr, head as u32));
     preloads.push((tail_ptr, tail as u32));
 
-    let mut builders: Vec<ProgramBuilder> = (0..params.threads)
-        .map(|_| ProgramBuilder::new())
-        .collect();
+    let mut builders: Vec<ProgramBuilder> =
+        (0..params.threads).map(|_| ProgramBuilder::new()).collect();
 
     for op in 0..params.ops_per_thread {
         for (t, b) in builders.iter_mut().enumerate() {

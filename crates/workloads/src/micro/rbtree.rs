@@ -294,8 +294,7 @@ pub fn rbtree(params: &MicroParams) -> Workload {
     let mut heap = PersistentHeap::new();
     // Node layout: one header line (key, colour, pointers) + 512-byte
     // payload. Reserve room for preloaded + inserted nodes.
-    let max_nodes =
-        (params.capacity + params.threads * params.ops_per_thread + 1) as u64;
+    let max_nodes = (params.capacity + params.threads * params.ops_per_thread + 1) as u64;
     let (hdr_base, hdr_stride) = heap.alloc_array(HeapRegion::Persistent, 64, max_nodes);
     let (pay_base, pay_stride) =
         heap.alloc_array(HeapRegion::Persistent, params.entry_bytes, max_nodes);
@@ -325,9 +324,8 @@ pub fn rbtree(params: &MicroParams) -> Workload {
     }
     preloads.push((root_ptr, tree.root.unwrap_or(0) as u32));
 
-    let mut builders: Vec<ProgramBuilder> = (0..params.threads)
-        .map(|_| ProgramBuilder::new())
-        .collect();
+    let mut builders: Vec<ProgramBuilder> =
+        (0..params.threads).map(|_| ProgramBuilder::new()).collect();
 
     for op in 0..params.ops_per_thread {
         for (t, b) in builders.iter_mut().enumerate() {
@@ -441,12 +439,7 @@ mod tests {
         t.insert(9);
         assert!(t.delete(5).is_some());
         assert!(t.delete(404).is_none());
-        let alive: Vec<u32> = t
-            .nodes
-            .iter()
-            .filter(|n| !n.dead)
-            .map(|n| n.key)
-            .collect();
+        let alive: Vec<u32> = t.nodes.iter().filter(|n| !n.dead).map(|n| n.key).collect();
         assert_eq!(alive, vec![9]);
     }
 

@@ -22,8 +22,7 @@ const EDGES_PER_VERTEX: usize = 8;
 pub fn sdg(params: &MicroParams) -> Workload {
     let mut heap = PersistentHeap::new();
     let vertices = (params.capacity / EDGES_PER_VERTEX).max(params.threads * 2);
-    let (hdr_base, hdr_stride) =
-        heap.alloc_array(HeapRegion::Persistent, 64, vertices as u64);
+    let (hdr_base, hdr_stride) = heap.alloc_array(HeapRegion::Persistent, 64, vertices as u64);
     let (edge_base, edge_stride) = heap.alloc_array(
         HeapRegion::Persistent,
         params.entry_bytes,
@@ -52,9 +51,8 @@ pub fn sdg(params: &MicroParams) -> Workload {
         preloads.push((hdr(v), *deg as u32));
     }
 
-    let mut builders: Vec<ProgramBuilder> = (0..params.threads)
-        .map(|_| ProgramBuilder::new())
-        .collect();
+    let mut builders: Vec<ProgramBuilder> =
+        (0..params.threads).map(|_| ProgramBuilder::new()).collect();
 
     let slice = (vertices / params.threads).max(1);
     for op in 0..params.ops_per_thread {

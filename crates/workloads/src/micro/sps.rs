@@ -32,9 +32,8 @@ pub fn sps(params: &MicroParams) -> Workload {
         }
     }
 
-    let mut builders: Vec<ProgramBuilder> = (0..params.threads)
-        .map(|_| ProgramBuilder::new())
-        .collect();
+    let mut builders: Vec<ProgramBuilder> =
+        (0..params.threads).map(|_| ProgramBuilder::new()).collect();
 
     let slice = (entries / params.threads).max(2);
     for op in 0..params.ops_per_thread {

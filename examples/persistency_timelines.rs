@@ -55,7 +55,11 @@ fn main() -> Result<(), ConfigError> {
         BarrierKind::WriteThrough,
         PersistencyKind::Strict,
     )?;
-    run("EP  (epoch persistency)", BarrierKind::LbPp, PersistencyKind::Epoch)?;
+    run(
+        "EP  (epoch persistency)",
+        BarrierKind::LbPp,
+        PersistencyKind::Epoch,
+    )?;
     run(
         "BEP (buffered epochs, LB++)",
         BarrierKind::LbPp,

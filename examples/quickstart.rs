@@ -28,7 +28,10 @@ fn main() -> Result<(), ConfigError> {
     let mut sys = System::new(cfg, vec![program.build()])?;
     let stats = sys.run();
 
-    println!("executed {} stores across {} epochs", stats.stores, stats.epochs_created);
+    println!(
+        "executed {} stores across {} epochs",
+        stats.stores, stats.epochs_created
+    );
     println!("execution took {} cycles", stats.cycles);
     println!(
         "epochs persisted: {} ({} NVRAM line writes)",

@@ -93,9 +93,8 @@ fn bsp_recovery_is_atomic_for_every_lazy_barrier() {
                 let at = Cycle::new(horizon * k / 39);
                 let snap = sys.persistent_snapshot_at(at);
                 let (recovered, _) = snap.recover_with(sys.undo_log());
-                ck.check_bsp_recovered(&recovered).unwrap_or_else(|v| {
-                    panic!("{barrier} seed={seed}: violation at {at}: {v}")
-                });
+                ck.check_bsp_recovered(&recovered)
+                    .unwrap_or_else(|v| panic!("{barrier} seed={seed}: violation at {at}: {v}"));
             }
         }
     }

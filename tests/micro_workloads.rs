@@ -134,9 +134,11 @@ fn app_profiles_differ_in_traffic() {
     params.ops_per_thread = 2000;
     let run = |name: &str| {
         let wl = apps::build(apps::profile(name).expect("known"), &params);
-        let mut sys =
-            System::new(cfg4(BarrierKind::NoPersistency, PersistencyKind::BufferedEpoch), wl.programs.clone())
-                .expect("valid");
+        let mut sys = System::new(
+            cfg4(BarrierKind::NoPersistency, PersistencyKind::BufferedEpoch),
+            wl.programs.clone(),
+        )
+        .expect("valid");
         sys.run()
     };
     let ssca2 = run("ssca2");

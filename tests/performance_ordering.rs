@@ -60,7 +60,10 @@ fn pf_reduces_conflict_flushes() {
         lb.conflicting_epoch_pct()
     );
     assert!(pf.epochs_proactive_flushed > 0);
-    assert_eq!(lb.epochs_proactive_flushed, 0, "LB never flushes proactively");
+    assert_eq!(
+        lb.epochs_proactive_flushed, 0,
+        "LB never flushes proactively"
+    );
 }
 
 #[test]

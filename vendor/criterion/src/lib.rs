@@ -1,0 +1,240 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this substitute covering the group-based benchmarking API the
+//! `figures` bench uses. Each benchmark is warmed up, then timed for the
+//! configured measurement window; the mean wall-clock time per iteration
+//! is printed as `name ... <mean> ns/iter (<iters> iters)`. There is no
+//! outlier analysis, HTML report, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display value.
+    pub fn new<F: Display, P: Display>(function_id: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Measures one closure's mean wall-clock time per call.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.measurement {
+            black_box(routine());
+            iters += 1;
+            elapsed = start.elapsed();
+        }
+        self.iters = iters;
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes by wall-clock
+    /// window rather than sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the timed measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the untimed warm-up window per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark with an input value passed to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    fn report(&mut self, id: &str, b: &Bencher) {
+        println!(
+            "{}/{:<40} {:>14.0} ns/iter ({} iters)",
+            self.name, id, b.mean_ns, b.iters
+        );
+        self.criterion
+            .results
+            .push((format!("{}/{}", self.name, id), b.mean_ns));
+    }
+
+    /// Ends the group (upstream finalizes reports here; no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark harness state.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    /// `(full benchmark id, mean ns/iter)` for every completed benchmark.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_secs(1),
+            measurement: Duration::from_secs(3),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (warm_up, measurement) = (self.warm_up, self.measurement);
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up,
+            measurement,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Declares a benchmark group function calling each target with a
+/// shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(10);
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].0, "g/f/3");
+        assert!(c.results.iter().all(|(_, ns)| *ns > 0.0));
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this minimal substitute: `Serialize` and `Deserialize`
+//! are empty marker traits and the derives (re-exported from the local
+//! `serde_derive`) expand to nothing. Nothing in the workspace serializes
+//! through serde — the observability layer hand-writes its JSON/CSV so the
+//! bytes are deterministic — but keeping the trait names and derive
+//! positions intact means swapping the real serde back in is a one-line
+//! manifest change.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Stand-in for `serde::de`.
+pub mod de {
+    pub use crate::Deserialize;
+}
