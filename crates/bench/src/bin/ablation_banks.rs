@@ -6,9 +6,10 @@
 //! same total LLC capacity) and reports throughput and NoC traffic per
 //! persisted epoch, quantifying the handshake the paper designs for.
 //!
-//! Run: `cargo run -p pbm-bench --release --bin ablation_banks [--quick]`
+//! Run: `cargo run -p pbm-bench --release --bin ablation_banks [--quick]
+//!           [--jobs=N] [--trace-out=t.json] [--metrics-csv=m.csv]`
 
-use pbm_bench::{print_system_header, print_table, quick_mode, run_matrix};
+use pbm_bench::{print_system_header, print_table, quick_mode, Runner};
 use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
 use pbm_workloads::micro::{self, MicroParams};
 
@@ -38,7 +39,8 @@ fn main() {
             jobs.push((format!("{nb} banks"), wl.name.to_string(), cfg, wl.clone()));
         }
     }
-    let results = run_matrix(jobs);
+    let runner = Runner::from_args("ablation_banks");
+    let results = runner.run(jobs);
 
     let mut rows = Vec::new();
     for chunk in results.chunks(banks.len()) {
@@ -60,4 +62,5 @@ fn main() {
         &rows,
     );
     println!("\npaper: arbiter keeps the banked flush at O(n) messages per epoch");
+    runner.finish();
 }

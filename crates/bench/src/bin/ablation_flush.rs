@@ -6,9 +6,10 @@
 //! invalidating flushes evict the working set and later accesses re-fetch
 //! from NVRAM.
 //!
-//! Run: `cargo run -p pbm-bench --release --bin ablation_flush [--quick]`
+//! Run: `cargo run -p pbm-bench --release --bin ablation_flush [--quick]
+//!           [--jobs=N] [--trace-out=t.json] [--metrics-csv=m.csv]`
 
-use pbm_bench::{gmean, print_system_header, print_table, quick_mode, run_matrix};
+use pbm_bench::{gmean, print_system_header, print_table, quick_mode, Runner};
 use pbm_types::{BarrierKind, FlushMode, PersistencyKind, SystemConfig};
 use pbm_workloads::micro::{self, MicroParams};
 
@@ -39,7 +40,8 @@ fn main() {
             jobs.push((label.to_string(), wl.name.to_string(), cfg, wl.clone()));
         }
     }
-    let results = run_matrix(jobs);
+    let runner = Runner::from_args("ablation_flush");
+    let results = runner.run(jobs);
 
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
@@ -60,4 +62,5 @@ fn main() {
         &rows,
     );
     println!("\npaper: non-invalidating flush ~30% faster (speedup ~1.3)");
+    runner.finish();
 }

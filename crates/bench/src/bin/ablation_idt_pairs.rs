@@ -6,9 +6,10 @@
 //! inter-thread dependences dominate — with 1/2/4/8 pairs and reports the
 //! overflow rate and execution time, justifying the paper's sizing.
 //!
-//! Run: `cargo run -p pbm-bench --release --bin ablation_idt_pairs [--quick]`
+//! Run: `cargo run -p pbm-bench --release --bin ablation_idt_pairs [--quick]
+//!           [--jobs=N] [--trace-out=t.json] [--metrics-csv=m.csv]`
 
-use pbm_bench::{print_system_header, print_table, quick_mode, run_matrix};
+use pbm_bench::{print_system_header, print_table, quick_mode, Runner};
 use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
 use pbm_workloads::apps::{self, AppParams};
 
@@ -39,7 +40,8 @@ fn main() {
             jobs.push((format!("{p} pairs"), name.to_string(), cfg, wl.clone()));
         }
     }
-    let results = run_matrix(jobs);
+    let runner = Runner::from_args("ablation_idt_pairs");
+    let results = runner.run(jobs);
 
     let mut rows = Vec::new();
     for chunk in results.chunks(pairs.len()) {
@@ -62,4 +64,5 @@ fn main() {
         &rows,
     );
     println!("\npaper: 4 pairs per epoch (64 B per L1) suffice");
+    runner.finish();
 }

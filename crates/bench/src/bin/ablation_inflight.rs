@@ -5,9 +5,10 @@
 //! runs the BEP micro-benchmarks with windows of 2/4/8/16 under LB (where
 //! the window matters most — nothing flushes proactively).
 //!
-//! Run: `cargo run -p pbm-bench --release --bin ablation_inflight [--quick]`
+//! Run: `cargo run -p pbm-bench --release --bin ablation_inflight [--quick]
+//!           [--jobs=N] [--trace-out=t.json] [--metrics-csv=m.csv]`
 
-use pbm_bench::{gmean, print_system_header, print_table, quick_mode, run_matrix};
+use pbm_bench::{gmean, print_system_header, print_table, quick_mode, Runner};
 use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
 use pbm_workloads::micro::{self, MicroParams};
 
@@ -36,7 +37,8 @@ fn main() {
             jobs.push((format!("{w} epochs"), wl.name.to_string(), cfg, wl.clone()));
         }
     }
-    let results = run_matrix(jobs);
+    let runner = Runner::from_args("ablation_inflight");
+    let results = runner.run(jobs);
 
     let mut rows = Vec::new();
     let mut per_w: Vec<Vec<f64>> = vec![Vec::new(); windows.len()];
@@ -62,4 +64,5 @@ fn main() {
         &rows,
     );
     println!("\npaper: 8 in-flight epochs (3-bit epoch id in cache tags)");
+    runner.finish();
 }

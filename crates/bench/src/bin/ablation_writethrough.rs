@@ -4,9 +4,10 @@
 //! Paper claim: ~8x slower than NP, which is why the paper implements BSP
 //! in bulk mode instead.
 //!
-//! Run: `cargo run -p pbm-bench --release --bin ablation_writethrough [--quick]`
+//! Run: `cargo run -p pbm-bench --release --bin ablation_writethrough
+//!           [--quick] [--jobs=N] [--trace-out=t.json] [--metrics-csv=m.csv]`
 
-use pbm_bench::{gmean, print_system_header, print_table, quick_mode, run_matrix};
+use pbm_bench::{gmean, print_system_header, print_table, quick_mode, Runner};
 use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
 use pbm_workloads::apps::{self, AppParams};
 
@@ -38,7 +39,8 @@ fn main() {
         wt.persistency = PersistencyKind::Strict;
         jobs.push(("WT".to_string(), wl.name.to_string(), wt, wl.clone()));
     }
-    let results = run_matrix(jobs);
+    let runner = Runner::from_args("ablation_writethrough");
+    let results = runner.run(jobs);
 
     let mut rows = Vec::new();
     let mut slowdowns = Vec::new();
@@ -56,4 +58,5 @@ fn main() {
         &rows,
     );
     println!("\npaper: write-through is ~8x slower than NP");
+    runner.finish();
 }

@@ -1,42 +1,63 @@
-use pbm_bench::run_one;
+//! BSP calibration sweep: every application proxy across the barrier
+//! ladder, normalized to NP — a quick way to eyeball whether the proxies
+//! still land in the paper's Figure 13/14 range after a model change.
+//!
+//! Run: `cargo run -p pbm-bench --release --bin calibrate_bsp -- \
+//!           [ops] [--jobs=N]`
+
+use pbm_bench::{Job, Runner};
 use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
 use pbm_workloads::apps::{self, AppParams};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let ops: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8000);
+    let ops: usize = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8000);
     let mut params = AppParams::paper();
     params.ops_per_thread = ops;
     let base = SystemConfig::micro48();
-    println!(
-        "{:<9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "app", "LB300", "LB1K", "LB10K", "IDT", "LB++", "NOLOG"
-    );
+    let ladder: [(&str, BarrierKind, u64, bool); 7] = [
+        ("NP", BarrierKind::NoPersistency, 10_000, true),
+        ("LB300", BarrierKind::Lb, 300, true),
+        ("LB1K", BarrierKind::Lb, 1000, true),
+        ("LB10K", BarrierKind::Lb, 10_000, true),
+        ("IDT", BarrierKind::LbIdt, 10_000, true),
+        ("LB++", BarrierKind::LbPp, 10_000, true),
+        ("NOLOG", BarrierKind::LbPp, 10_000, false),
+    ];
+    let mut cells: Vec<Job> = Vec::new();
     for prof in apps::PROFILES.iter() {
         let wl = apps::build(prof, &params);
-        let mut np = base.clone();
-        np.barrier = BarrierKind::NoPersistency;
-        np.persistency = PersistencyKind::BufferedStrictBulk;
-        let np_c = run_one(np, &wl).cycles as f64;
-        let mut row = vec![];
-        for (kind, size, logging) in [
-            (BarrierKind::Lb, 300, true),
-            (BarrierKind::Lb, 1000, true),
-            (BarrierKind::Lb, 10_000, true),
-            (BarrierKind::LbIdt, 10_000, true),
-            (BarrierKind::LbPp, 10_000, true),
-            (BarrierKind::LbPp, 10_000, false),
-        ] {
+        for (label, kind, size, logging) in ladder {
             let mut c = base.clone();
             c.persistency = PersistencyKind::BufferedStrictBulk;
             c.barrier = kind;
             c.bsp_epoch_size = size;
             c.logging = logging;
-            row.push(run_one(c, &wl).cycles as f64 / np_c);
+            cells.push((label.to_string(), prof.name.to_string(), c, wl.clone()));
         }
+    }
+    let runner = Runner::from_args("calibrate_bsp");
+    let results = runner.run(cells);
+
+    println!(
+        "{:<9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "app", "LB300", "LB1K", "LB10K", "IDT", "LB++", "NOLOG"
+    );
+    for chunk in results.chunks(ladder.len()) {
+        let np_c = chunk[0].stats.cycles as f64;
+        let row: Vec<f64> = chunk[1..]
+            .iter()
+            .map(|r| r.stats.cycles as f64 / np_c)
+            .collect();
         println!(
             "{:<9} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
-            prof.name, row[0], row[1], row[2], row[3], row[4], row[5]
+            chunk[0].workload, row[0], row[1], row[2], row[3], row[4], row[5]
         );
     }
+    runner.finish();
 }

@@ -3,12 +3,9 @@
 //!
 //! Paper shape: gmean ≈ 1.00 / 1.03 / 1.17 / 1.22.
 //!
-//! Run: `cargo run -p pbm-bench --release --bin fig11 [--quick]`
+//! Run: `cargo run -p pbm-bench --release --bin fig11 [--quick] [--jobs=N]`
 
-use pbm_bench::{
-    capture_artifacts, gmean, print_flush_latency, print_system_header, print_table, quick_mode,
-    run_matrix, ObsOptions,
-};
+use pbm_bench::{gmean, print_flush_latency, print_system_header, print_table, quick_mode, Runner};
 use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
 use pbm_workloads::micro::{self, MicroParams};
 
@@ -35,7 +32,8 @@ fn main() {
             jobs.push((kind.to_string(), wl.name.to_string(), cfg, wl.clone()));
         }
     }
-    let results = run_matrix(jobs);
+    let runner = Runner::from_args("fig11");
+    let results = runner.run(jobs);
 
     let mut rows = Vec::new();
     let mut per_kind: Vec<Vec<f64>> = vec![Vec::new(); 4];
@@ -61,14 +59,5 @@ fn main() {
     );
     print_flush_latency("epoch flush latency (cycles)", &results);
     println!("\npaper gmean: LB 1.00, LB+IDT 1.03, LB+PF 1.17, LB++ 1.22");
-
-    // Optional --trace-out / --metrics-csv artifacts: one representative
-    // cell (first micro-benchmark under LB++).
-    let opts = ObsOptions::from_args();
-    if opts.is_active() {
-        let wl = &micro::all(&params)[0];
-        let mut cfg = base.clone();
-        cfg.barrier = BarrierKind::LbPp;
-        capture_artifacts(&opts, cfg, wl, &format!("{}/LB++", wl.name));
-    }
+    runner.finish();
 }

@@ -3,11 +3,9 @@
 //!
 //! Paper shape: amean ≈ 90 / 90 / 77 / 75 percent.
 //!
-//! Run: `cargo run -p pbm-bench --release --bin fig12 [--quick]`
+//! Run: `cargo run -p pbm-bench --release --bin fig12 [--quick] [--jobs=N]`
 
-use pbm_bench::{
-    amean, capture_artifacts, print_system_header, print_table, quick_mode, run_matrix, ObsOptions,
-};
+use pbm_bench::{amean, print_system_header, print_table, quick_mode, Runner};
 use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
 use pbm_workloads::micro::{self, MicroParams};
 
@@ -34,7 +32,8 @@ fn main() {
             jobs.push((kind.to_string(), wl.name.to_string(), cfg, wl.clone()));
         }
     }
-    let results = run_matrix(jobs);
+    let runner = Runner::from_args("fig12");
+    let results = runner.run(jobs);
 
     let mut rows = Vec::new();
     let mut per_kind: Vec<Vec<f64>> = vec![Vec::new(); 4];
@@ -58,12 +57,5 @@ fn main() {
         &rows,
     );
     println!("\npaper amean: LB 90, LB+IDT 90, LB+PF 77, LB++ 75");
-
-    let opts = ObsOptions::from_args();
-    if opts.is_active() {
-        let wl = &micro::all(&params)[0];
-        let mut cfg = base.clone();
-        cfg.barrier = BarrierKind::LbPp;
-        capture_artifacts(&opts, cfg, wl, &format!("{}/LB++", wl.name));
-    }
+    runner.finish();
 }

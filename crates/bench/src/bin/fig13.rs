@@ -4,12 +4,9 @@
 //! Paper shape: gmean ≈ 1.9 / 1.5 / 1.45; LB1K beats LB10K on canneal,
 //! dedup, intruder and vacation.
 //!
-//! Run: `cargo run -p pbm-bench --release --bin fig13 [--quick]`
+//! Run: `cargo run -p pbm-bench --release --bin fig13 [--quick] [--jobs=N]`
 
-use pbm_bench::{
-    capture_artifacts, gmean, print_flush_latency, print_system_header, print_table, quick_mode,
-    run_matrix, ObsOptions,
-};
+use pbm_bench::{gmean, print_flush_latency, print_system_header, print_table, quick_mode, Runner};
 use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
 use pbm_workloads::apps::{self, AppParams};
 
@@ -48,7 +45,8 @@ fn main() {
             jobs.push((label.clone(), wl.name.to_string(), cfg.clone(), wl.clone()));
         }
     }
-    let results = run_matrix(jobs);
+    let runner = Runner::from_args("fig13");
+    let results = runner.run(jobs);
 
     let mut rows = Vec::new();
     let mut per_cfg: Vec<Vec<f64>> = vec![Vec::new(); 3];
@@ -74,11 +72,5 @@ fn main() {
     );
     print_flush_latency("epoch flush latency (cycles)", &results);
     println!("\npaper gmean: LB300 1.9, LB1K 1.5, LB10K ~1.45");
-
-    let opts = ObsOptions::from_args();
-    if opts.is_active() {
-        let wl = &apps::all(&params)[0];
-        let (label, cfg) = &configs[2]; // LB1K
-        capture_artifacts(&opts, cfg.clone(), wl, &format!("{}/{label}", wl.name));
-    }
+    runner.finish();
 }

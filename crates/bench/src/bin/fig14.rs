@@ -4,12 +4,9 @@
 //! Paper shape: gmean ≈ 1.5 / 1.35 / 1.3 / 1.16; ssca2 drops from 4.22x
 //! to 2.62x.
 //!
-//! Run: `cargo run -p pbm-bench --release --bin fig14 [--quick]`
+//! Run: `cargo run -p pbm-bench --release --bin fig14 [--quick] [--jobs=N]`
 
-use pbm_bench::{
-    capture_artifacts, gmean, print_flush_latency, print_system_header, print_table, quick_mode,
-    run_matrix, ObsOptions,
-};
+use pbm_bench::{gmean, print_flush_latency, print_system_header, print_table, quick_mode, Runner};
 use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
 use pbm_workloads::apps::{self, AppParams};
 
@@ -54,7 +51,8 @@ fn main() {
             jobs.push((label.clone(), wl.name.to_string(), cfg.clone(), wl.clone()));
         }
     }
-    let results = run_matrix(jobs);
+    let runner = Runner::from_args("fig14");
+    let results = runner.run(jobs);
 
     let mut rows = Vec::new();
     let mut per_cfg: Vec<Vec<f64>> = vec![Vec::new(); 4];
@@ -80,11 +78,5 @@ fn main() {
     );
     print_flush_latency("epoch flush latency (cycles)", &results);
     println!("\npaper gmean: LB 1.5, LB+IDT 1.35, LB++ 1.3, LB++NOLOG 1.16");
-
-    let opts = ObsOptions::from_args();
-    if opts.is_active() {
-        let wl = &apps::all(&params)[0];
-        let (label, cfg) = &configs[3]; // LB++
-        capture_artifacts(&opts, cfg.clone(), wl, &format!("{}/{label}", wl.name));
-    }
+    runner.finish();
 }

@@ -6,15 +6,15 @@
 //! counters the roadmap tracks.
 //!
 //! Run: `cargo run -p pbm-bench --release --bin profile_bsp -- \
-//!           [app] [ops] [--trace-out=t.json] [--metrics-csv=m.csv]`
+//!           [app] [ops] [--jobs=N] [--trace-out=t.json] [--metrics-csv=m.csv]`
 //!
-//! With `--trace-out` / `--metrics-csv` the artifacts are written per
-//! configuration, suffixed with the config label.
+//! The ladder's configurations run in parallel on the runner's worker
+//! pool; with `--trace-out` / `--metrics-csv` the artifacts are written
+//! per configuration, suffixed with the config and workload labels.
 
-use pbm_bench::{capture_artifacts, run_one_instrumented, ObsOptions};
+use pbm_bench::{Job, Runner};
 use pbm_types::{BarrierKind, Cycle, PersistencyKind, SystemConfig};
 use pbm_workloads::apps::{self, AppParams};
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -31,12 +31,11 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(40_000);
-    let opts = ObsOptions::from_args();
+    let runner = Runner::from_args("profile_bsp");
     let mut params = AppParams::paper();
     params.ops_per_thread = ops;
     let wl = apps::build(apps::profile(&app).unwrap(), &params);
     let base = SystemConfig::micro48();
-    let mut np_cycles = 0f64;
     let configs: Vec<(String, BarrierKind, u64, bool)> = vec![
         ("NP".into(), BarrierKind::NoPersistency, 10_000, true),
         ("LB300".into(), BarrierKind::Lb, 300, true),
@@ -46,34 +45,36 @@ fn main() {
         ("LB++10K".into(), BarrierKind::LbPp, 10_000, true),
         ("NOLOG".into(), BarrierKind::LbPp, 10_000, false),
     ];
+    let cells: Vec<Job> = configs
+        .iter()
+        .map(|(label, kind, size, logging)| {
+            let mut cfg = base.clone();
+            cfg.persistency = PersistencyKind::BufferedStrictBulk;
+            cfg.barrier = *kind;
+            cfg.bsp_epoch_size = *size;
+            cfg.logging = *logging;
+            (label.clone(), wl.name.to_string(), cfg, wl.clone())
+        })
+        .collect();
+    let interval = Cycle::new(runner.obs().metrics_interval);
+    let results = runner.run_sampled(cells, interval);
+
     println!(
         "{:<10}{:>12}{:>8}{:>10}{:>10}{:>10}{:>9}{:>9}{:>9}",
         "config", "cycles", "norm", "epochs", "cfl%", "splits", "comp%", "onl%", "bar%"
     );
-    for (label, kind, size, logging) in configs {
-        let mut cfg = base.clone();
-        cfg.persistency = PersistencyKind::BufferedStrictBulk;
-        cfg.barrier = kind;
-        cfg.bsp_epoch_size = size;
-        cfg.logging = logging;
-        let t = Instant::now();
-        let (stats, _, samples) = run_one_instrumented(
-            cfg.clone(),
-            &wl,
-            false,
-            Some(Cycle::new(opts.metrics_interval)),
-        );
-        if label == "NP" {
-            np_cycles = stats.cycles as f64;
-        }
+    let np_cycles = results[0].stats.cycles as f64;
+    for r in &results {
+        let stats = &r.stats;
         // Stall attribution: total core-cycles split into stalled-online,
         // stalled-at-barrier, and everything else (compute + memory).
-        let core_cycles = (stats.cycles * cfg.cores as u64).max(1) as f64;
+        let core_cycles = (stats.cycles * base.cores as u64).max(1) as f64;
         let onl = stats.online_persist_stall_cycles as f64 / core_cycles * 100.0;
         let bar = stats.barrier_stall_cycles as f64 / core_cycles * 100.0;
         let comp = 100.0 - onl - bar;
         println!(
-            "{label:<10}{:>12}{:>8.2}{:>10}{:>10.1}{:>10}{:>9.1}{:>9.1}{:>9.1}",
+            "{:<10}{:>12}{:>8.2}{:>10}{:>10.1}{:>10}{:>9.1}{:>9.1}{:>9.1}",
+            r.config,
             stats.cycles,
             stats.cycles as f64 / np_cycles,
             stats.epochs_created,
@@ -88,12 +89,17 @@ fn main() {
         }
         // Saturation sketch from the sampled series: peak MC write-queue
         // depth and peak simultaneously-stalled cores.
-        let peak_q = samples.iter().map(|s| s.mc_queue_depth).max().unwrap_or(0);
-        let peak_stalled = samples.iter().map(|s| s.stalled_cores).max().unwrap_or(0);
+        let peak_q = r
+            .samples
+            .iter()
+            .map(|s| s.mc_queue_depth)
+            .max()
+            .unwrap_or(0);
+        let peak_stalled = r.samples.iter().map(|s| s.stalled_cores).max().unwrap_or(0);
         println!(
             "           detail: wall={:?} I={} X={} ovf={} log={} chk={} evf={} parks={} \
              peak_mcq={peak_q} peak_stalled={peak_stalled}",
-            t.elapsed(),
+            r.wall,
             stats.conflicts_intra,
             stats.conflicts_inter,
             stats.idt_overflows,
@@ -102,8 +108,6 @@ fn main() {
             stats.epochs_eviction_flushed,
             stats.parks,
         );
-        if opts.is_active() {
-            capture_artifacts(&opts.for_label(&label), cfg, &wl, &label);
-        }
     }
+    runner.finish();
 }

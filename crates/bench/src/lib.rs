@@ -10,14 +10,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod obs;
+pub mod runner;
 
 pub use obs::{capture_artifacts, run_one_instrumented, ObsOptions};
+pub use runner::{default_jobs, jobs_from_args, Runner};
 
 use pbm_sim::System;
-use pbm_types::{SimStats, SystemConfig};
+use pbm_types::{MetricSample, SimStats, SystemConfig};
 use pbm_workloads::Workload;
-use std::sync::mpsc;
-use std::thread;
+use std::time::Duration;
 
 /// One completed run of the matrix.
 #[derive(Debug, Clone)]
@@ -28,6 +29,11 @@ pub struct RunResult {
     pub config: String,
     /// The run's statistics.
     pub stats: SimStats,
+    /// Sampled metrics series ([`Runner::run_sampled`] only; empty
+    /// otherwise).
+    pub samples: Vec<MetricSample>,
+    /// Wall-clock of this cell's simulation on its worker thread.
+    pub wall: Duration,
 }
 
 /// Runs one workload under one configuration.
@@ -47,40 +53,11 @@ pub type Job = (String, String, SystemConfig, Workload);
 
 /// Runs a labelled `(config, workload)` matrix, parallelizing across the
 /// host's cores. Results come back in input order.
+///
+/// Thin wrapper over [`Runner`] for callers that don't need `--jobs=`
+/// control, observability routing, or the wall-clock record.
 pub fn run_matrix(jobs: Vec<Job>) -> Vec<RunResult> {
-    let parallelism = thread::available_parallelism()
-        .map_or(4, usize::from)
-        .min(jobs.len().max(1));
-    let mut results: Vec<Option<RunResult>> = vec![None; jobs.len()];
-    let (tx, rx) = mpsc::channel();
-    // Round-robin assignment: worker w takes jobs w, w+P, w+2P, ...
-    let mut shares: Vec<Vec<(usize, Job)>> = (0..parallelism).map(|_| Vec::new()).collect();
-    for (k, job) in jobs.into_iter().enumerate() {
-        shares[k % parallelism].push((k, job));
-    }
-    thread::scope(|scope| {
-        for mine in shares {
-            let tx = tx.clone();
-            scope.spawn(move || {
-                for (k, (config, workload, cfg, wl)) in mine {
-                    let stats = run_one(cfg, &wl);
-                    let _ = tx.send((
-                        k,
-                        RunResult {
-                            workload,
-                            config,
-                            stats,
-                        },
-                    ));
-                }
-            });
-        }
-        drop(tx);
-        for (k, r) in rx {
-            results[k] = Some(r);
-        }
-    });
-    results.into_iter().map(|r| r.expect("job ran")).collect()
+    Runner::new("matrix", default_jobs(), ObsOptions::default()).run(jobs)
 }
 
 /// Geometric mean (the paper's summary statistic for throughput and

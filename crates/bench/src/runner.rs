@@ -1,0 +1,300 @@
+//! Parallel experiment runner: executes independent (workload, barrier,
+//! config) grid cells on a scoped worker pool.
+//!
+//! Every figure and ablation binary builds its cell grid, hands it to a
+//! [`Runner`], and prints from the returned results — which always come
+//! back in grid order, regardless of worker count, so the tables are
+//! byte-identical at any `--jobs=N`. Flags understood by every runner
+//! binary:
+//!
+//! * `--jobs=N` — worker threads (default: available parallelism).
+//! * `--trace-out=` / `--metrics-csv=` / `--metrics-interval=` — per-cell
+//!   observability artifacts (see [`crate::obs::ObsOptions`]); each cell's
+//!   outputs go to a distinct `-<config>-<workload>`-suffixed path so
+//!   concurrent cells never interleave into one file.
+//! * `--runner-json=<path>` / `--no-runner-json` — where (whether) to
+//!   record wall-clock in `BENCH_runner.json` (see [`Runner::finish`]).
+
+use crate::obs::{self, ObsOptions};
+use crate::{run_one, Job, RunResult};
+use pbm_obs::json::{self, JsonValue};
+use pbm_types::Cycle;
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+/// Default destination of the wall-clock record, relative to the CWD.
+pub const DEFAULT_RUNNER_JSON: &str = "BENCH_runner.json";
+
+/// Schema tag stamped into `BENCH_runner.json`.
+pub const RUNNER_JSON_SCHEMA: &str = "pbm-bench-runner/v1";
+
+/// Parses `--jobs=N` from the process arguments; defaults to the host's
+/// available parallelism. Exits with a diagnostic on a malformed value.
+pub fn jobs_from_args() -> usize {
+    for arg in std::env::args() {
+        if let Some(n) = arg.strip_prefix("--jobs=") {
+            match n.parse::<usize>() {
+                Ok(v) if v > 0 => return v,
+                _ => {
+                    eprintln!("error: --jobs takes a positive worker count, got {n:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    default_jobs()
+}
+
+/// The default worker count: the host's available parallelism.
+pub fn default_jobs() -> usize {
+    thread::available_parallelism().map_or(4, usize::from)
+}
+
+fn report_path_from_args() -> Option<PathBuf> {
+    let mut path = Some(PathBuf::from(DEFAULT_RUNNER_JSON));
+    for arg in std::env::args() {
+        if arg == "--no-runner-json" {
+            path = None;
+        } else if let Some(p) = arg.strip_prefix("--runner-json=") {
+            if p.is_empty() {
+                eprintln!("error: --runner-json requires a file path");
+                std::process::exit(2);
+            }
+            path = Some(PathBuf::from(p));
+        }
+    }
+    path
+}
+
+/// A worker pool that runs experiment cells in parallel and records the
+/// binary's wall-clock.
+///
+/// Results are collected in deterministic grid order (input order), so
+/// callers can keep indexing result chunks exactly as with a sequential
+/// loop. When observability flags are active, every cell gets its own
+/// artifact set at a label-suffixed path.
+#[derive(Debug)]
+pub struct Runner {
+    binary: String,
+    jobs: usize,
+    obs: ObsOptions,
+    report: Option<PathBuf>,
+    started: Instant,
+    cells: Cell<usize>,
+}
+
+impl Runner {
+    /// A runner configured from the process arguments (`--jobs=`, the
+    /// observability flags, `--runner-json=`), recording under `binary`'s
+    /// name in `BENCH_runner.json`.
+    pub fn from_args(binary: &str) -> Self {
+        let mut r = Self::new(binary, jobs_from_args(), ObsOptions::from_args());
+        r.report = report_path_from_args();
+        r
+    }
+
+    /// A runner with explicit worker count and observability options and
+    /// no wall-clock record (library/test use).
+    pub fn new(binary: &str, jobs: usize, obs: ObsOptions) -> Self {
+        assert!(jobs > 0, "need at least one worker");
+        Runner {
+            binary: binary.to_string(),
+            jobs,
+            obs,
+            report: None,
+            started: Instant::now(),
+            cells: Cell::new(0),
+        }
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The observability options the runner applies per cell.
+    pub fn obs(&self) -> &ObsOptions {
+        &self.obs
+    }
+
+    /// Runs the cell grid on the worker pool; results in grid order.
+    pub fn run(&self, cells: Vec<Job>) -> Vec<RunResult> {
+        self.run_cells(cells, None)
+    }
+
+    /// Like [`Runner::run`], but with the metrics sampler attached at
+    /// `interval`, so each result carries its sampled time series (used by
+    /// `profile_bsp` for saturation sketches).
+    pub fn run_sampled(&self, cells: Vec<Job>, interval: Cycle) -> Vec<RunResult> {
+        self.run_cells(cells, Some(interval))
+    }
+
+    fn run_cells(&self, cells: Vec<Job>, sample: Option<Cycle>) -> Vec<RunResult> {
+        self.cells.set(self.cells.get() + cells.len());
+        let workers = self.jobs.min(cells.len()).max(1);
+        let mut results: Vec<Option<RunResult>> = (0..cells.len()).map(|_| None).collect();
+        let (tx, rx) = mpsc::channel();
+        // Round-robin assignment: worker w takes cells w, w+P, w+2P, ...
+        let mut shares: Vec<Vec<(usize, Job)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (k, cell) in cells.into_iter().enumerate() {
+            shares[k % workers].push((k, cell));
+        }
+        let obs = &self.obs;
+        thread::scope(|scope| {
+            for mine in shares {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for (k, (config, workload, cfg, wl)) in mine {
+                        let t0 = Instant::now();
+                        let (stats, samples) = match sample {
+                            Some(interval) => {
+                                let (stats, _, samples) = obs::run_one_instrumented(
+                                    cfg.clone(),
+                                    &wl,
+                                    false,
+                                    Some(interval),
+                                );
+                                (stats, samples)
+                            }
+                            None => (run_one(cfg.clone(), &wl), Vec::new()),
+                        };
+                        if obs.is_active() {
+                            let cell_obs = obs.for_label(&format!("{config}-{workload}"));
+                            obs::capture_artifacts(
+                                &cell_obs,
+                                cfg,
+                                &wl,
+                                &format!("{workload}/{config}"),
+                            );
+                        }
+                        let _ = tx.send((
+                            k,
+                            RunResult {
+                                workload,
+                                config,
+                                stats,
+                                samples,
+                                wall: t0.elapsed(),
+                            },
+                        ));
+                    }
+                });
+            }
+            drop(tx);
+            for (k, r) in rx {
+                results[k] = Some(r);
+            }
+        });
+        results.into_iter().map(|r| r.expect("cell ran")).collect()
+    }
+
+    /// Records the binary's total wall-clock in `BENCH_runner.json`
+    /// (merging with — and replacing — any previous entry for the same
+    /// binary) and notes it on stderr. No-op under `--no-runner-json` or
+    /// when the runner was built without a report path.
+    ///
+    /// The file is a deterministic JSON document:
+    ///
+    /// ```json
+    /// {"schema": "pbm-bench-runner/v1",
+    ///  "runs": [{"binary": "fig11", "jobs": 8, "cells": 20,
+    ///            "quick": true, "wall_ms": 1234}]}
+    /// ```
+    pub fn finish(&self) {
+        let Some(path) = &self.report else {
+            return;
+        };
+        let wall_ms = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let entry = JsonValue::Object(vec![
+            ("binary".into(), JsonValue::Str(self.binary.clone())),
+            ("jobs".into(), JsonValue::Num(self.jobs as u64)),
+            ("cells".into(), JsonValue::Num(self.cells.get() as u64)),
+            ("quick".into(), JsonValue::Bool(crate::quick_mode())),
+            ("wall_ms".into(), JsonValue::Num(wall_ms)),
+        ]);
+        let mut runs: Vec<JsonValue> = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| json::parse(&text).ok())
+            .and_then(|doc| {
+                doc.get("runs")
+                    .and_then(|r| r.as_array().map(<[_]>::to_vec))
+            })
+            .unwrap_or_default();
+        runs.retain(|r| r.get("binary").and_then(JsonValue::as_str) != Some(self.binary.as_str()));
+        runs.push(entry);
+        let doc = JsonValue::Object(vec![
+            ("schema".into(), JsonValue::Str(RUNNER_JSON_SCHEMA.into())),
+            ("runs".into(), JsonValue::Array(runs)),
+        ]);
+        let mut text = doc.to_json();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!(
+            "# runner: {} cells in {wall_ms} ms with {} jobs -> {}",
+            self.cells.get(),
+            self.jobs,
+            path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbm_sim::ProgramBuilder;
+    use pbm_types::{Addr, SystemConfig};
+    use pbm_workloads::Workload;
+
+    fn tiny_grid(n: usize) -> Vec<Job> {
+        let mut cfg = SystemConfig::small_test();
+        cfg.cores = 1;
+        let mut b = ProgramBuilder::new();
+        b.store(Addr::new(0), 1).barrier();
+        let wl = Workload {
+            name: "t",
+            programs: vec![b.build()],
+            preloads: vec![],
+        };
+        (0..n)
+            .map(|i| (format!("c{i}"), "t".to_string(), cfg.clone(), wl.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_grid_order() {
+        let runner = Runner::new("test", 3, ObsOptions::default());
+        let results = runner.run(tiny_grid(7));
+        assert_eq!(results.len(), 7);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.config, format!("c{i}"));
+            assert_eq!(r.stats.stores, 1);
+            assert!(r.samples.is_empty());
+        }
+    }
+
+    #[test]
+    fn sampled_runs_carry_the_series() {
+        let runner = Runner::new("test", 2, ObsOptions::default());
+        let results = runner.run_sampled(tiny_grid(2), Cycle::new(10));
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(!r.samples.is_empty(), "sampler attached");
+        }
+    }
+
+    #[test]
+    fn worker_counts_agree_on_stats() {
+        let one = Runner::new("test", 1, ObsOptions::default()).run(tiny_grid(5));
+        let many = Runner::new("test", 8, ObsOptions::default()).run(tiny_grid(5));
+        for (a, b) in one.iter().zip(&many) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+}

@@ -204,6 +204,13 @@ impl CacheArray {
         self.index.lines(tag)
     }
 
+    /// Appends the lines attributed to `tag` to `out`, in address order.
+    /// The allocation-free variant of [`CacheArray::lines_of_epoch`] for
+    /// callers that reuse a scratch buffer across enumerations.
+    pub fn lines_of_epoch_into(&self, tag: EpochTag, out: &mut Vec<LineAddr>) {
+        self.index.lines_into(tag, out);
+    }
+
     /// Number of resident lines attributed to `tag`.
     pub fn epoch_len(&self, tag: EpochTag) -> usize {
         self.index.len(tag)

@@ -27,10 +27,19 @@ impl DirEntry {
 
     /// Cores in the sharer mask.
     pub fn sharer_list(&self) -> Vec<CoreId> {
-        (0..64)
-            .filter(|i| self.sharers & (1 << i) != 0)
-            .map(|i| CoreId::new(i as u32))
-            .collect()
+        let mut list = Vec::new();
+        self.sharers_into(&mut list);
+        list
+    }
+
+    /// Appends the cores in the sharer mask to `out`, in core order.
+    pub fn sharers_into(&self, out: &mut Vec<CoreId>) {
+        let mut mask = self.sharers;
+        while mask != 0 {
+            let i = mask.trailing_zeros();
+            out.push(CoreId::new(i));
+            mask &= mask - 1;
+        }
     }
 }
 
@@ -74,11 +83,23 @@ impl Directory {
     /// Sharers other than `requestor` that must be invalidated for an
     /// exclusive request.
     pub fn invalidation_targets(&self, line: LineAddr, requestor: CoreId) -> Vec<CoreId> {
-        self.entry(line)
-            .sharer_list()
-            .into_iter()
-            .filter(|c| *c != requestor)
-            .collect()
+        let mut list = Vec::new();
+        self.invalidation_targets_into(line, requestor, &mut list);
+        list
+    }
+
+    /// Appends the invalidation targets to `out` (allocation-free variant
+    /// of [`Directory::invalidation_targets`] for hot-path callers with a
+    /// scratch buffer).
+    pub fn invalidation_targets_into(
+        &self,
+        line: LineAddr,
+        requestor: CoreId,
+        out: &mut Vec<CoreId>,
+    ) {
+        let mut entry = self.entry(line);
+        entry.sharers &= !(1u64 << requestor.index());
+        entry.sharers_into(out);
     }
 
     /// Downgrades the owner to a sharer (a remote read hit a dirty copy:
@@ -117,14 +138,22 @@ impl Directory {
 
     /// Cores holding any copy (for inclusive-LLC eviction recalls).
     pub fn holders(&self, line: LineAddr) -> Vec<CoreId> {
+        let mut list = Vec::new();
+        self.holders_into(line, &mut list);
+        list
+    }
+
+    /// Appends the cores holding any copy of `line` to `out`
+    /// (allocation-free variant of [`Directory::holders`]).
+    pub fn holders_into(&self, line: LineAddr, out: &mut Vec<CoreId>) {
         let e = self.entry(line);
-        let mut list = e.sharer_list();
+        let before = out.len();
+        e.sharers_into(out);
         if let Some(o) = e.owner {
-            if !list.contains(&o) {
-                list.push(o);
+            if !out[before..].contains(&o) {
+                out.push(o);
             }
         }
-        list
     }
 
     /// Number of tracked lines.

@@ -46,6 +46,16 @@ impl EpochIndex {
             .unwrap_or_default()
     }
 
+    /// Appends the lines attributed to `tag` to `out`, in address order.
+    /// Allocation-free when `out` has capacity — the flush hot path reuses
+    /// one scratch buffer across epochs instead of building a fresh `Vec`
+    /// per enumeration.
+    pub fn lines_into(&self, tag: EpochTag, out: &mut Vec<LineAddr>) {
+        if let Some(set) = self.by_epoch.get(&tag) {
+            out.extend(set.iter().copied());
+        }
+    }
+
     /// Number of lines attributed to `tag`.
     pub fn len(&self, tag: EpochTag) -> usize {
         self.by_epoch.get(&tag).map_or(0, BTreeSet::len)

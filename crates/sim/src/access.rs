@@ -208,9 +208,12 @@ impl System {
 
         // ---------------- coherence permissions ----------------
         if is_store {
-            let targets = self.banks[bi].dir.invalidation_targets(line, core);
+            let mut targets = self.take_core_buf();
+            self.banks[bi]
+                .dir
+                .invalidation_targets_into(line, core, &mut targets);
             let mut t_inv = t;
-            for c in targets {
+            for &c in &targets {
                 let t_send = self.send_msg(
                     Self::node_bank(b),
                     Self::node_core(c),
@@ -227,6 +230,7 @@ impl System {
                 );
                 t_inv = t_inv.max(t_ack);
             }
+            self.put_core_buf(targets);
             t = t_inv;
             self.banks[bi].dir.set_owner(line, core);
         } else {
@@ -465,13 +469,16 @@ impl System {
                 }
                 VictimChoice::Evict(victim) => {
                     // Inclusive LLC: recall every L1 copy first.
-                    let holders = self.banks[bi].dir.holders(victim.addr);
+                    let mut holders = self.take_core_buf();
+                    self.banks[bi].dir.holders_into(victim.addr, &mut holders);
                     let mut merged = victim.value;
                     let mut dirty = victim.is_dirty();
-                    for h in holders {
+                    let mut blocked = None;
+                    for &h in &holders {
                         if let Some(hl) = self.l1s[h.index()].array.peek(victim.addr).copied() {
                             if hl.is_epoch_tagged() {
-                                return Err(hl.tag.expect("tagged"));
+                                blocked = Some(hl.tag.expect("tagged"));
+                                break;
                             }
                             if hl.is_dirty() {
                                 merged = hl.value;
@@ -481,6 +488,10 @@ impl System {
                             self.l1s[h.index()].exclusive.remove(&victim.addr);
                         }
                         self.banks[bi].dir.drop_core(victim.addr, h);
+                    }
+                    self.put_core_buf(holders);
+                    if let Some(tag) = blocked {
+                        return Err(tag);
                     }
                     self.banks[bi].dir.forget(victim.addr);
                     self.banks[bi].array.remove(victim.addr);

@@ -5,8 +5,7 @@ use crate::event::Event;
 use crate::system::{FlushReason, System};
 use pbm_core::ArbiterAction;
 use pbm_noc::MessageClass;
-use pbm_nvram::LineValue;
-use pbm_types::{BankId, CoreId, Cycle, EpochId, EpochTag, FlushMode, LineAddr, McId, NodeId};
+use pbm_types::{BankId, CoreId, EpochId, EpochTag, FlushMode, LineAddr, McId, NodeId};
 
 impl System {
     pub(crate) fn node_core(core: CoreId) -> NodeId {
@@ -64,14 +63,18 @@ impl System {
         let pbm_core::FlushPhase::WaitingDeps(e) = self.arbiters[i].phase() else {
             return;
         };
-        let sources: Vec<EpochTag> = self.arbiters[i].idt().sources_of(e).to_vec();
+        // Pooled buffer: `request_flush` recurses back into this function,
+        // so a single scratch vector would not survive the reentrancy.
+        let mut sources = self.take_tag_buf();
+        sources.extend_from_slice(self.arbiters[i].idt().sources_of(e));
         let reason = self.flush_reasons[i]
             .get(&e)
             .copied()
             .unwrap_or(FlushReason::Conflict);
-        for s in sources {
+        for &s in &sources {
             self.request_flush(s.core, s.epoch, reason);
         }
+        self.put_tag_buf(sources);
     }
 
     /// Executes a batch of arbiter actions for `core`'s arbiter.
@@ -157,11 +160,22 @@ impl System {
         // conflict-visible until the epoch has fully persisted — requests
         // that touch it meanwhile wait online (or record an IDT
         // dependence), exactly the window Figure 12 measures.
-        let mut per_bank: Vec<Vec<(LineAddr, LineValue)>> = vec![Vec::new(); nbanks];
-        let mut arrivals: Vec<Cycle> = vec![t0; nbanks];
-        let mut seen: std::collections::HashSet<LineAddr> = std::collections::HashSet::new();
-        let l1_lines = self.l1s[i].array.lines_of_epoch(tag);
-        for line in l1_lines {
+        //
+        // All temporaries come from the per-system scratch so the flush
+        // path does no steady-state allocation. `l1_lines` is in address
+        // order (the epoch index is a sorted set), so a binary search
+        // stands in for the old per-flush dedup hash set.
+        let mut per_bank = std::mem::take(&mut self.scratch.per_bank);
+        if per_bank.len() < nbanks {
+            per_bank.resize_with(nbanks, Vec::new);
+        }
+        let mut arrivals = std::mem::take(&mut self.scratch.arrivals);
+        arrivals.clear();
+        arrivals.resize(nbanks, t0);
+        let mut l1_lines = std::mem::take(&mut self.scratch.l1_lines);
+        l1_lines.clear();
+        self.l1s[i].array.lines_of_epoch_into(tag, &mut l1_lines);
+        for &line in &l1_lines {
             let value = self.l1s[i]
                 .array
                 .peek(line)
@@ -180,11 +194,15 @@ impl System {
                 self.banks[b.index()].array.write(line, value, Some(tag));
             }
             per_bank[b.index()].push((line, value));
-            seen.insert(line);
         }
-        for (bi, bucket) in per_bank.iter_mut().enumerate() {
-            for line in self.banks[bi].array.lines_of_epoch(tag) {
-                if seen.contains(&line) {
+        let mut bank_lines = std::mem::take(&mut self.scratch.lines);
+        for (bi, bucket) in per_bank.iter_mut().enumerate().take(nbanks) {
+            bank_lines.clear();
+            self.banks[bi]
+                .array
+                .lines_of_epoch_into(tag, &mut bank_lines);
+            for &line in &bank_lines {
+                if l1_lines.binary_search(&line).is_ok() {
                     continue;
                 }
                 let value = self.banks[bi]
@@ -195,10 +213,14 @@ impl System {
                 bucket.push((line, value));
             }
         }
+        bank_lines.clear();
+        self.scratch.lines = bank_lines;
+        l1_lines.clear();
+        self.scratch.l1_lines = l1_lines;
 
         // Step 2–3 per bank.
         let log_ready = self.log_ready.remove(&tag).unwrap_or(t0);
-        for (bi, lines) in per_bank.into_iter().enumerate() {
+        for bi in 0..nbanks {
             let b = BankId::new(bi as u32);
             let t_fe = self.send_msg(
                 Self::node_core(core),
@@ -211,7 +233,7 @@ impl System {
                     .max(log_ready)
                     .max(if bi == 0 { chk_done } else { t0 });
             let mut done = start;
-            for (line, value) in lines {
+            for &(line, value) in &per_bank[bi] {
                 let mc = self.mc_of(line);
                 let t_mc = self.send_msg(
                     Self::node_bank(b),
@@ -239,6 +261,11 @@ impl System {
             self.queue
                 .schedule(t_ba, Event::BankAck(core, tag.epoch, b));
         }
+        for bucket in per_bank.iter_mut() {
+            bucket.clear();
+        }
+        self.scratch.per_bank = per_bank;
+        self.scratch.arrivals = arrivals;
     }
 
     /// Releases every line of a freshly-persisted epoch: tags drop, lines
@@ -246,7 +273,10 @@ impl System {
     fn clear_epoch_lines(&mut self, tag: EpochTag) {
         let invalidating = self.cfg.flush_mode == FlushMode::Invalidating;
         let i = tag.core.index();
-        for line in self.l1s[i].array.lines_of_epoch(tag) {
+        let mut lines = std::mem::take(&mut self.scratch.lines);
+        lines.clear();
+        self.l1s[i].array.lines_of_epoch_into(tag, &mut lines);
+        for &line in &lines {
             if invalidating {
                 self.l1s[i].array.remove(line);
                 self.l1s[i].exclusive.remove(&line);
@@ -258,7 +288,9 @@ impl System {
         }
         for bi in 0..self.banks.len() {
             let b = BankId::new(bi as u32);
-            for line in self.banks[bi].array.lines_of_epoch(tag) {
+            lines.clear();
+            self.banks[bi].array.lines_of_epoch_into(tag, &mut lines);
+            for &line in &lines {
                 if invalidating {
                     self.evict_llc_line_holders(b, line);
                     self.banks[bi].array.remove(line);
@@ -268,17 +300,23 @@ impl System {
                 }
             }
         }
+        lines.clear();
+        self.scratch.lines = lines;
     }
 
     /// Invalidating-flush cleanup: recall every L1 copy of an LLC line
     /// about to be invalidated.
     fn evict_llc_line_holders(&mut self, bank: BankId, line: LineAddr) {
-        let holders = self.banks[bank.index()].dir.holders(line);
-        for h in holders {
+        let mut holders = self.take_core_buf();
+        self.banks[bank.index()]
+            .dir
+            .holders_into(line, &mut holders);
+        for &h in &holders {
             self.l1s[h.index()].array.remove(line);
             self.l1s[h.index()].exclusive.remove(&line);
             self.banks[bank.index()].dir.drop_core(line, h);
         }
+        self.put_core_buf(holders);
     }
 
     /// An epoch became durable: clear its lines' tags (making them

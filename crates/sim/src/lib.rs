@@ -43,7 +43,7 @@ mod op;
 mod system;
 mod trace;
 
-pub use event::Event;
+pub use event::{Event, EventQueue, HeapEventQueue};
 pub use op::{Op, Program, ProgramBuilder};
 pub use system::{FlushReason, System, VOLATILE_BASE};
 pub use trace::TraceParseError;

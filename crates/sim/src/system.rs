@@ -56,6 +56,29 @@ impl CoreState {
     }
 }
 
+/// Reusable scratch buffers for the access/flush hot paths. Every buffer
+/// is taken (`std::mem::take` or pool pop) for the duration of one
+/// operation and returned cleared, so steady-state simulation does no
+/// per-event allocation for these temporaries. Pools (rather than single
+/// buffers) back the paths that nest: eviction recalls inside writebacks,
+/// and transitive dependence-demand propagation.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    /// Per-bank `(line, value)` gather lists for the epoch-flush cascade.
+    pub per_bank: Vec<Vec<(LineAddr, pbm_nvram::LineValue)>>,
+    /// Per-bank last-writeback-arrival times.
+    pub arrivals: Vec<Cycle>,
+    /// Epoch line enumeration (L1 side; stays sorted, doubles as the
+    /// dedup set via binary search).
+    pub l1_lines: Vec<LineAddr>,
+    /// Epoch line enumeration (bank side / tag clearing).
+    pub lines: Vec<LineAddr>,
+    /// Pool of core-list buffers (directory holders, invalidation targets).
+    pub core_bufs: Vec<Vec<CoreId>>,
+    /// Pool of epoch-tag buffers (dependence-demand propagation recurses).
+    pub tag_bufs: Vec<Vec<EpochTag>>,
+}
+
 #[derive(Debug)]
 pub(crate) struct L1State {
     pub array: CacheArray,
@@ -97,6 +120,7 @@ pub struct System {
     /// BSP: cycle by which an epoch's undo-log records are durable.
     pub(crate) log_ready: HashMap<EpochTag, Cycle>,
     pub(crate) queue: EventQueue,
+    pub(crate) scratch: Scratch,
     pub(crate) now: Cycle,
     pub(crate) token_seq: u64,
     pub(crate) checker: Option<ConsistencyChecker>,
@@ -164,6 +188,7 @@ impl System {
             flush_started: HashMap::new(),
             log_ready: HashMap::new(),
             queue: EventQueue::new(),
+            scratch: Scratch::default(),
             now: Cycle::ZERO,
             token_seq: 1,
             checker: None,
@@ -771,6 +796,28 @@ impl System {
                 StepOutcome::Blocked
             }
         }
+    }
+
+    /// Borrows a core-list scratch buffer from the pool (empty).
+    pub(crate) fn take_core_buf(&mut self) -> Vec<CoreId> {
+        self.scratch.core_bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns a core-list scratch buffer to the pool.
+    pub(crate) fn put_core_buf(&mut self, mut buf: Vec<CoreId>) {
+        buf.clear();
+        self.scratch.core_bufs.push(buf);
+    }
+
+    /// Borrows an epoch-tag scratch buffer from the pool (empty).
+    pub(crate) fn take_tag_buf(&mut self) -> Vec<EpochTag> {
+        self.scratch.tag_bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns an epoch-tag scratch buffer to the pool.
+    pub(crate) fn put_tag_buf(&mut self, mut buf: Vec<EpochTag>) {
+        buf.clear();
+        self.scratch.tag_bufs.push(buf);
     }
 
     /// Parks `core` until `tag` persists (the flush request must already be
