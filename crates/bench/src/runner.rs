@@ -21,7 +21,6 @@ use pbm_obs::json::{self, JsonValue};
 use pbm_types::Cycle;
 use std::cell::Cell;
 use std::path::PathBuf;
-use std::sync::mpsc;
 use std::thread;
 use std::time::Instant;
 
@@ -134,61 +133,29 @@ impl Runner {
 
     fn run_cells(&self, cells: Vec<Job>, sample: Option<Cycle>) -> Vec<RunResult> {
         self.cells.set(self.cells.get() + cells.len());
-        let workers = self.jobs.min(cells.len()).max(1);
-        let mut results: Vec<Option<RunResult>> = (0..cells.len()).map(|_| None).collect();
-        let (tx, rx) = mpsc::channel();
-        // Round-robin assignment: worker w takes cells w, w+P, w+2P, ...
-        let mut shares: Vec<Vec<(usize, Job)>> = (0..workers).map(|_| Vec::new()).collect();
-        for (k, cell) in cells.into_iter().enumerate() {
-            shares[k % workers].push((k, cell));
-        }
         let obs = &self.obs;
-        thread::scope(|scope| {
-            for mine in shares {
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    for (k, (config, workload, cfg, wl)) in mine {
-                        let t0 = Instant::now();
-                        let (stats, samples) = match sample {
-                            Some(interval) => {
-                                let (stats, _, samples) = obs::run_one_instrumented(
-                                    cfg.clone(),
-                                    &wl,
-                                    false,
-                                    Some(interval),
-                                );
-                                (stats, samples)
-                            }
-                            None => (run_one(cfg.clone(), &wl), Vec::new()),
-                        };
-                        if obs.is_active() {
-                            let cell_obs = obs.for_label(&format!("{config}-{workload}"));
-                            obs::capture_artifacts(
-                                &cell_obs,
-                                cfg,
-                                &wl,
-                                &format!("{workload}/{config}"),
-                            );
-                        }
-                        let _ = tx.send((
-                            k,
-                            RunResult {
-                                workload,
-                                config,
-                                stats,
-                                samples,
-                                wall: t0.elapsed(),
-                            },
-                        ));
-                    }
-                });
+        pbm_check::parallel_map(self.jobs, cells, |(config, workload, cfg, wl)| {
+            let t0 = Instant::now();
+            let (stats, samples) = match sample {
+                Some(interval) => {
+                    let (stats, _, samples) =
+                        obs::run_one_instrumented(cfg.clone(), &wl, false, Some(interval));
+                    (stats, samples)
+                }
+                None => (run_one(cfg.clone(), &wl), Vec::new()),
+            };
+            if obs.is_active() {
+                let cell_obs = obs.for_label(&format!("{config}-{workload}"));
+                obs::capture_artifacts(&cell_obs, cfg, &wl, &format!("{workload}/{config}"));
             }
-            drop(tx);
-            for (k, r) in rx {
-                results[k] = Some(r);
+            RunResult {
+                workload,
+                config,
+                stats,
+                samples,
+                wall: t0.elapsed(),
             }
-        });
-        results.into_iter().map(|r| r.expect("cell ran")).collect()
+        })
     }
 
     /// Records the binary's total wall-clock in `BENCH_runner.json`

@@ -1,0 +1,78 @@
+//! A minimal scoped worker pool: run a batch of independent jobs on N
+//! threads and return the results in input order.
+//!
+//! This is the sharing-free core of the `pbm-bench` experiment runner,
+//! extracted so the fuzzing campaigns and the figure binaries drive the
+//! same pool. Workers take a round-robin share of the batch up front (the
+//! jobs here — whole simulations — are coarse enough that work stealing
+//! would buy nothing), results flow back over a channel tagged with their
+//! input index, and the caller gets a `Vec` it can zip against its inputs
+//! regardless of worker count.
+
+use std::sync::mpsc;
+use std::thread;
+
+/// Applies `f` to every item on `jobs` worker threads; results come back
+/// in input order.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero, or if `f` panics on a worker (the panic is
+/// propagated when the scope joins).
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(jobs > 0, "need at least one worker");
+    let workers = jobs.min(items.len()).max(1);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel();
+    // Round-robin assignment: worker w takes items w, w+P, w+2P, ...
+    let mut shares: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (k, item) in items.into_iter().enumerate() {
+        shares[k % workers].push((k, item));
+    }
+    let f = &f;
+    thread::scope(|scope| {
+        for mine in shares {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for (k, item) in mine {
+                    let _ = tx.send((k, f(item)));
+                }
+            });
+        }
+        drop(tx);
+        for (k, r) in rx {
+            results[k] = Some(r);
+        }
+    });
+    results.into_iter().map(|r| r.expect("job ran")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        let out = parallel_map(3, (0..17u64).collect(), |x| x * 2);
+        assert_eq!(out, (0..17u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_does_not_matter() {
+        let items: Vec<u64> = (0..9).collect();
+        let one = parallel_map(1, items.clone(), |x| x + 1);
+        let many = parallel_map(8, items, |x| x + 1);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out: Vec<u64> = parallel_map(4, Vec::<u64>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

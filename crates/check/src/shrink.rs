@@ -1,0 +1,107 @@
+//! Failing-case minimization.
+//!
+//! A delta-debugging reduction specialized to per-core programs: for each
+//! core, try deleting halves, then quarters, … then single operations,
+//! keeping any candidate that still fails (*any* failure counts — a case
+//! that stops violating BEP but starts panicking is still a bug witness,
+//! and usually a smaller one). The vendored `proptest` stand-in has no
+//! shrinking, so the harness owns this.
+
+use crate::case::{run_case, CaseSpec, FailureKind};
+use pbm_sim::Program;
+
+/// Upper bound on re-runs one [`shrink`] call may spend.
+pub const DEFAULT_MAX_RUNS: usize = 400;
+
+/// Minimizes `spec` to a smaller case that still fails.
+///
+/// Returns the reduced spec and the failure it reproduces. The input must
+/// fail; the result is always at most as large as the input (and is the
+/// input itself if nothing could be removed).
+///
+/// # Panics
+///
+/// Panics if `spec` does not fail.
+pub fn shrink(spec: &CaseSpec, max_runs: usize) -> (CaseSpec, FailureKind) {
+    let mut best = spec.clone();
+    let mut best_failure = run_case(&best).expect_err("shrink needs a failing case");
+    let mut runs = 1usize;
+    loop {
+        let mut improved = false;
+        for core in 0..best.programs.len() {
+            let mut chunk = best.programs[core].len().div_ceil(2).max(1);
+            loop {
+                let mut start = 0;
+                while start < best.programs[core].len() {
+                    if runs >= max_runs {
+                        return (best, best_failure);
+                    }
+                    let candidate = without_ops(&best, core, start, chunk);
+                    runs += 1;
+                    match run_case(&candidate) {
+                        Err(f) => {
+                            best = candidate;
+                            best_failure = f;
+                            improved = true;
+                            // The ops after the removed range slid into
+                            // `start`; retry the same position.
+                        }
+                        Ok(_) => start += chunk,
+                    }
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk = (chunk / 2).max(1);
+            }
+        }
+        if !improved {
+            return (best, best_failure);
+        }
+    }
+}
+
+/// `spec` with `count` ops removed from `core`'s program at `start`.
+fn without_ops(spec: &CaseSpec, core: usize, start: usize, count: usize) -> CaseSpec {
+    let mut out = spec.clone();
+    let ops = spec.programs[core].ops();
+    let end = (start + count).min(ops.len());
+    out.programs[core] = ops[..start]
+        .iter()
+        .chain(&ops[end..])
+        .copied()
+        .collect::<Program>();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbm_sim::{Op, ProgramBuilder};
+    use pbm_types::{Addr, BarrierKind, PersistencyKind};
+
+    #[test]
+    fn without_ops_removes_the_range() {
+        let mut b = ProgramBuilder::new();
+        b.store(Addr::new(0), 1)
+            .barrier()
+            .compute(5)
+            .store(Addr::new(64), 2);
+        let spec = CaseSpec {
+            programs: vec![b.build()],
+            barrier: BarrierKind::LbPp,
+            persistency: PersistencyKind::BufferedEpoch,
+            perturb_seed: None,
+            bsp_epoch_size: 7,
+            seed: 0,
+        };
+        let cut = without_ops(&spec, 0, 1, 2);
+        assert_eq!(
+            cut.programs[0].ops(),
+            &[Op::Store(Addr::new(0), 1), Op::Store(Addr::new(64), 2)]
+        );
+        // Out-of-range tails clamp instead of panicking.
+        let tail = without_ops(&spec, 0, 3, 10);
+        assert_eq!(tail.programs[0].len(), 3);
+    }
+}

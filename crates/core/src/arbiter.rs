@@ -185,13 +185,19 @@ impl EpochArbiter {
     ///
     /// Panics if no flush is awaiting acks for `epoch` — a protocol bug.
     pub fn bank_ack(&mut self, epoch: EpochId) -> Vec<ArbiterAction> {
+        let premature = premature_bank_ack_bug();
+        if premature && self.phase != FlushPhase::AwaitingBankAcks(epoch) {
+            // Stray late acks from a flush the bug already "completed".
+            return Vec::new();
+        }
         assert_eq!(
             self.phase,
             FlushPhase::AwaitingBankAcks(epoch),
             "unexpected BankAck for {epoch}"
         );
         self.acks += 1;
-        if self.acks < self.num_banks {
+        let needed = if premature { 1 } else { self.num_banks };
+        if self.acks < needed {
             return Vec::new();
         }
         // Step ④: epoch persisted.
@@ -261,6 +267,19 @@ impl EpochArbiter {
     /// True if `epoch` of this core has fully persisted.
     pub fn is_persisted(&self, epoch: EpochId) -> bool {
         self.ledger.is_persisted(epoch)
+    }
+}
+
+/// True when the `premature-bank-ack` injected bug is active (always
+/// `false` without the `bug-inject` feature).
+fn premature_bank_ack_bug() -> bool {
+    #[cfg(feature = "bug-inject")]
+    {
+        pbm_types::bug::is_active(pbm_types::bug::InjectedBug::PrematureBankAck)
+    }
+    #[cfg(not(feature = "bug-inject"))]
+    {
+        false
     }
 }
 
@@ -383,6 +402,38 @@ mod tests {
             a.bank_ack(e0);
         }
         assert_eq!(a.phase(), FlushPhase::AwaitingBankAcks(e1));
+    }
+
+    #[test]
+    fn inform_overflow_falls_back_to_broadcast_release() {
+        // The source core's inform registers fill up, so one dependent
+        // can never be notified point-to-point...
+        let mut source = EpochArbiter::new(CoreId::new(1), &cfg()); // 4 pairs
+        let e = source.barrier();
+        for c in 2..6 {
+            source.add_inform(e, tag(c, 0)).unwrap();
+        }
+        assert!(source.add_inform(e, tag(6, 0)).is_err());
+        assert_eq!(source.idt().overflow_count(), 1);
+
+        // ...but the dependent recorded the dependence on its own side,
+        // and the PersistCmp *broadcast* (dependence_satisfied at every
+        // arbiter) releases it without an inform entry.
+        let mut dependent = EpochArbiter::new(CoreId::new(6), &cfg());
+        let d0 = dependent.barrier();
+        let src_tag = EpochTag::new(CoreId::new(1), e);
+        dependent.add_dependence(d0, src_tag).unwrap();
+        dependent.request_flush_upto(d0);
+        assert!(
+            dependent.try_advance().is_empty(),
+            "flush stalls on the unsatisfied dependence"
+        );
+        let actions = dependent.dependence_satisfied(src_tag);
+        assert_eq!(
+            actions,
+            vec![ArbiterAction::StartEpochFlush(tag(6, 0))],
+            "broadcast release resumes the stalled flush"
+        );
     }
 
     #[test]

@@ -79,6 +79,60 @@ mod tests {
         let _ = split_decision(EpochState::Persisted);
     }
 
+    /// Drives the full §3.3 split sequence through the arbiter: a
+    /// dependence landing on an *ongoing* epoch splits it, the completed
+    /// first half becomes immediately flushable (it is the dependence
+    /// source), the remainder continues as a fresh epoch, and the inform
+    /// entry recorded against the first half is delivered when it persists.
+    #[test]
+    fn split_path_through_the_arbiter() {
+        use crate::arbiter::{ArbiterAction, EpochArbiter};
+        use pbm_types::SystemConfig;
+
+        let cfg = SystemConfig::small_test(); // 4 LLC banks
+        let t0 = CoreId::new(0);
+        let mut src = EpochArbiter::new(t0, &cfg);
+
+        // A remote conflict names core 0's ongoing epoch: split first.
+        assert_eq!(
+            split_decision(EpochState::Ongoing),
+            SplitDecision::SplitSource
+        );
+        let first_half = src.split_current();
+        assert_eq!(src.split_count(), 1);
+        assert!(
+            src.ledger().current() > first_half,
+            "the remainder continues as a fresh epoch"
+        );
+
+        // The dependence is recorded against the completed first half,
+        // which is now a legal flush target (NoSplit on re-check).
+        let dependent = EpochTag::new(CoreId::new(1), EpochId::new(0));
+        src.add_inform(first_half, dependent).unwrap();
+        assert_eq!(
+            split_decision(src.ledger().state(first_half)),
+            SplitDecision::NoSplit
+        );
+        src.request_flush_upto(first_half);
+        let tag0 = EpochTag::new(t0, first_half);
+        assert_eq!(
+            src.try_advance(),
+            vec![ArbiterAction::StartEpochFlush(tag0)]
+        );
+
+        // When the first half persists, the recorded dependent is notified
+        // and no register leaked onto the remainder epoch.
+        let mut last = Vec::new();
+        for _ in 0..cfg.llc_banks {
+            last = src.bank_ack(first_half);
+        }
+        assert!(last.contains(&ArbiterAction::NotifyDependent {
+            source: tag0,
+            dependent
+        }));
+        src.idt().assert_no_registers_above(first_half);
+    }
+
     /// Reproduces Figure 5: two threads with a circular read pattern. With
     /// the split rule the dependence graph stays acyclic.
     #[test]

@@ -219,6 +219,26 @@ mod tests {
     }
 
     #[test]
+    fn inform_overflow_counts_and_drain_frees_registers() {
+        let mut idt = IdtRegisters::new(1);
+        idt.add_inform(EpochId::new(0), tag(1, 0)).unwrap();
+        // A duplicate matches in hardware: free, not an overflow.
+        idt.add_inform(EpochId::new(0), tag(1, 0)).unwrap();
+        assert_eq!(idt.recorded_count(), 1);
+        assert_eq!(idt.overflow_count(), 0);
+        // A distinct dependent overflows and is counted.
+        let err = idt.add_inform(EpochId::new(0), tag(2, 0)).unwrap_err();
+        assert_eq!(err.epoch, EpochId::new(0));
+        assert_eq!(idt.overflow_count(), 1);
+        // Other epochs have independent inform registers.
+        idt.add_inform(EpochId::new(1), tag(2, 0)).unwrap();
+        // Draining on persist frees the registers for reuse.
+        assert_eq!(idt.drain_inform(EpochId::new(0)), vec![tag(1, 0)]);
+        idt.add_inform(EpochId::new(0), tag(3, 0)).unwrap();
+        assert_eq!(idt.overflow_count(), 1, "freed registers do not overflow");
+    }
+
+    #[test]
     fn satisfy_releases_across_epochs() {
         let mut idt = IdtRegisters::new(4);
         idt.add_dependence(EpochId::new(0), tag(9, 9)).unwrap();

@@ -22,11 +22,12 @@
 use crate::hb::HbGraph;
 use pbm_nvram::{DurableSnapshot, LineValue};
 use pbm_types::{CoreId, EpochId, EpochTag, LineAddr};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// A detected violation of the persistency model.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ConsistencyViolation {
     /// A durable line holds a value no recorded store ever wrote.
     PhantomValue {
@@ -55,7 +56,7 @@ pub enum ConsistencyViolation {
 }
 
 /// Why the checker demanded an epoch be complete.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CompletionReason {
     /// A newer epoch of the same core has durable effects (program order).
     ProgramOrder {
@@ -166,6 +167,17 @@ impl ConsistencyChecker {
     /// Total committed writes recorded.
     pub fn write_count(&self) -> usize {
         self.by_token.len()
+    }
+
+    /// Total distinct `(epoch, line)` pairs recorded — the exact number of
+    /// line writes a coalescing epoch-flush protocol must issue to NVRAM.
+    ///
+    /// Proactive flushing changes *when* epochs flush, never *what*, so
+    /// `SimStats::epoch_flush_writes` must equal this once every epoch has
+    /// drained (the paper's §4 zero-extra-writes claim; asserted by
+    /// `pbm-check`).
+    pub fn epoch_line_write_count(&self) -> usize {
+        self.epoch_writes.values().map(HashMap::len).sum()
     }
 
     /// The lines `tag` wrote, with its last token for each (diagnostics).

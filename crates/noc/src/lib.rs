@@ -59,6 +59,10 @@ pub struct Mesh {
     wait_cycles: [u64; MessageClass::VNETS],
     /// The simulator's current event time; see [`Mesh::advance_to`].
     now: Cycle,
+    /// Maximum extra per-message delivery delay (0 = exact model).
+    jitter_max: u64,
+    /// SplitMix64 state for the jitter stream.
+    jitter_state: u64,
 }
 
 /// Direction of a mesh link leaving a tile.
@@ -95,7 +99,30 @@ impl Mesh {
             flits: 0,
             wait_cycles: [0; MessageClass::VNETS],
             now: Cycle::ZERO,
+            jitter_max: 0,
+            jitter_state: 0,
         }
+    }
+
+    /// Enables seeded delivery jitter: every message arrives up to `max`
+    /// cycles later than the exact model predicts, drawn from a
+    /// deterministic SplitMix64 stream.
+    ///
+    /// Extra delay is always protocol-legal on an asynchronous
+    /// interconnect; the schedule perturbator in `pbm-check` uses this to
+    /// explore message-arrival interleavings. With `max == 0` (the
+    /// default) the mesh is cycle-exact and byte-identical to the
+    /// unperturbed model.
+    pub fn set_jitter(&mut self, max: u64, seed: u64) {
+        self.jitter_max = max;
+        self.jitter_state = seed;
+    }
+
+    fn jitter(&mut self) -> Cycle {
+        if self.jitter_max == 0 {
+            return Cycle::ZERO;
+        }
+        Cycle::new(splitmix64(&mut self.jitter_state) % (self.jitter_max + 1))
     }
 
     /// Informs the mesh of the simulator's current event time.
@@ -170,12 +197,12 @@ impl Mesh {
         let b = self.placement.coord(dst);
         if a == b {
             // Same tile (e.g. core to its colocated bank): router-internal.
-            return now + Cycle::new(self.hop_latency + (flits - 1));
+            return now + Cycle::new(self.hop_latency + (flits - 1)) + self.jitter();
         }
         if now > self.now {
             // Future-dated message (inline cascade): unloaded latency, no
             // link reservation — it must not block present-time traffic.
-            return now + self.latency_unloaded(src, dst, class);
+            return now + self.latency_unloaded(src, dst, class) + self.jitter();
         }
         let cols = self.placement.cols();
         let mut head = now;
@@ -188,7 +215,7 @@ impl Mesh {
             self.link_busy[link] = start + Cycle::new(flits);
             head = start + Cycle::new(self.hop_latency);
         }
-        head + Cycle::new(flits - 1)
+        head + Cycle::new(flits - 1) + self.jitter()
     }
 
     fn dir(from: Coord, to: Coord) -> Dir {
@@ -202,6 +229,16 @@ impl Mesh {
             Dir::North
         }
     }
+}
+
+/// One step of the SplitMix64 generator (Steele et al.), good enough for
+/// latency jitter and stateless apart from the 8-byte counter.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -356,6 +393,29 @@ mod tests {
         let expect = m.latency_unloaded(src, dst, MessageClass::Control);
         let arrival = m.send(src, dst, MessageClass::Control, Cycle::new(100));
         assert_eq!(arrival, Cycle::new(100) + expect);
+    }
+
+    #[test]
+    fn jitter_delays_but_never_hastens_and_is_seed_deterministic() {
+        let src = NodeId::Core(CoreId::new(3));
+        let dst = NodeId::Bank(BankId::new(12));
+        let mut exact = mesh();
+        let base = exact.send(src, dst, MessageClass::Data, Cycle::new(100));
+        let run = |seed: u64| {
+            let mut m = mesh();
+            m.set_jitter(6, seed);
+            (0..8)
+                .map(|i| m.send(src, dst, MessageClass::Data, Cycle::new(100 + i * 1_000)))
+                .collect::<Vec<_>>()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, run(8), "different seed explores a different schedule");
+        assert!(
+            a[0] >= base && a[0] <= base + Cycle::new(6),
+            "bounded delay"
+        );
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub struct McTiming {
     write_latency: u64,
     reads: u64,
     writes: u64,
+    /// Maximum extra per-access service delay (0 = exact model).
+    jitter_max: u64,
+    /// SplitMix64 state for the jitter stream.
+    jitter_state: u64,
 }
 
 impl McTiming {
@@ -55,14 +59,40 @@ impl McTiming {
             write_latency,
             reads: 0,
             writes: 0,
+            jitter_max: 0,
+            jitter_state: 0,
         }
+    }
+
+    /// Enables seeded service-time jitter: every access takes up to `max`
+    /// extra cycles, drawn from a deterministic SplitMix64 stream.
+    ///
+    /// Variable device service time is protocol-legal (real PCM/ReRAM
+    /// latencies vary per access); the schedule perturbator in `pbm-check`
+    /// uses this to reorder persist completions. With `max == 0` (the
+    /// default) the controller is cycle-exact.
+    pub fn set_jitter(&mut self, max: u64, seed: u64) {
+        self.jitter_max = max;
+        self.jitter_state = seed;
+    }
+
+    fn jitter(&mut self) -> u64 {
+        if self.jitter_max == 0 {
+            return 0;
+        }
+        // SplitMix64 (Steele et al.): full-period, two multiplies.
+        self.jitter_state = self.jitter_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.jitter_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % (self.jitter_max + 1)
     }
 
     /// Schedules a line read issued at `now`; returns its completion time.
     /// Reads have priority: they never wait behind buffered writes.
     pub fn schedule_read(&mut self, now: Cycle) -> Cycle {
         self.reads += 1;
-        let latency = self.read_latency;
+        let latency = self.read_latency + self.jitter();
         Self::schedule_on(&mut self.read_banks, now, latency)
     }
 
@@ -70,7 +100,7 @@ impl McTiming {
     /// at which the write is durable (when the PersistAck is generated).
     pub fn schedule_write(&mut self, now: Cycle) -> Cycle {
         self.writes += 1;
-        let latency = self.write_latency;
+        let latency = self.write_latency + self.jitter();
         Self::schedule_on(&mut self.banks, now, latency)
     }
 
@@ -173,6 +203,27 @@ mod tests {
         mc.schedule_write(Cycle::ZERO); // lane 1 busy until 360
         assert_eq!(mc.pending_writes(Cycle::new(100)), 2);
         assert_eq!(mc.pending_writes(Cycle::new(360)), 0, "retired at 360");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut mc = McTiming::new(2, 240, 360);
+            mc.set_jitter(24, seed);
+            (0..8)
+                .map(|i| mc.schedule_write(Cycle::new(i * 10_000)))
+                .collect::<Vec<_>>()
+        };
+        let a = run(3);
+        assert_eq!(a, run(3), "same seed, same service times");
+        assert_ne!(a, run(4), "different seed perturbs the schedule");
+        for (i, t) in a.iter().enumerate() {
+            let base = i as u64 * 10_000 + 360;
+            assert!(
+                t.as_u64() >= base && t.as_u64() <= base + 24,
+                "write {i} done at {t}, outside [{base}, {base}+24]"
+            );
+        }
     }
 
     #[test]

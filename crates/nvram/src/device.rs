@@ -103,6 +103,27 @@ impl NvramDevice {
     pub fn snapshot_now(&self, at: Cycle) -> DurableSnapshot {
         DurableSnapshot::new(self.lines.clone(), at)
     }
+
+    /// The distinct cycles at which at least one durable write completed,
+    /// sorted ascending.
+    ///
+    /// Durable state only changes at these instants, so a crash sweep over
+    /// `{0} ∪ persist_times()` is *exhaustive*: it observes every durable
+    /// state the run ever exposed (the `pbm-check` harness relies on this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device was not created [`Self::with_history`].
+    pub fn persist_times(&self) -> Vec<Cycle> {
+        let history = self
+            .history
+            .as_ref()
+            .expect("persist_times requires NvramDevice::with_history");
+        let mut times: Vec<Cycle> = history.iter().map(|&(t, _, _)| t).collect();
+        times.sort_unstable();
+        times.dedup();
+        times
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +165,15 @@ mod tests {
         assert_eq!(s0.line(LineAddr::new(1)), None);
         let s_end = nv.snapshot_at(Cycle::new(300));
         assert_eq!(s_end.line(LineAddr::new(1)), Some(11));
+    }
+
+    #[test]
+    fn persist_times_are_sorted_and_deduped() {
+        let mut nv = NvramDevice::with_history();
+        nv.persist(LineAddr::new(1), 10, Cycle::new(300));
+        nv.persist(LineAddr::new(2), 20, Cycle::new(100));
+        nv.persist(LineAddr::new(3), 30, Cycle::new(300));
+        assert_eq!(nv.persist_times(), vec![Cycle::new(100), Cycle::new(300)]);
     }
 
     #[test]

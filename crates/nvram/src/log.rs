@@ -44,14 +44,28 @@ impl UndoLog {
         Self::default()
     }
 
-    /// Appends a pre-image record that becomes durable at `durable_at`.
+    /// Appends a pre-image record that becomes durable at `durable_at`,
+    /// returning the cycle at which it *actually* becomes durable.
+    ///
+    /// The log region is a sequential buffer: a record appended later can
+    /// never become durable before an earlier one, even when the two lands
+    /// on differently-loaded memory controllers. `append` therefore clamps
+    /// `durable_at` to be monotone in append order. Without this, undo
+    /// recovery is unsound: a record whose pre-image is another epoch's
+    /// not-yet-durable value could become durable first, and rolling it
+    /// back at a crash in that window would resurrect a value that was
+    /// never in NVRAM.
     pub fn append(
         &mut self,
         tag: EpochTag,
         line: LineAddr,
         old: Option<LineValue>,
         durable_at: Cycle,
-    ) {
+    ) -> Cycle {
+        let durable_at = self
+            .records
+            .last()
+            .map_or(durable_at, |r| durable_at.max(r.durable_at));
         self.appended += 1;
         self.records.push(LogRecord {
             tag,
@@ -60,6 +74,7 @@ impl UndoLog {
             durable_at,
             committed_at: None,
         });
+        durable_at
     }
 
     /// Marks every record of `tag` committed, with the commit marker

@@ -293,9 +293,10 @@ impl System {
         // value: an IDT-permitted store can run ahead of the source
         // epoch's persist, and the epoch ordering guarantees the cached
         // pre-image will be durable before this epoch's new value is.
-        if let (Some(tag), true) = (
+        if let (Some(tag), true, false) = (
             tag.filter(|_| self.cfg.logging && self.sem.needs_logging()),
             prev_tag != tag,
+            skip_undo_log_bug(),
         ) {
             // Token 0 marks a line that has never been written (the fill
             // value for absent NVRAM lines): its pre-image is "no value".
@@ -313,7 +314,10 @@ impl System {
             );
             let t_done = self.mcs[mc.index()].schedule_write(t_mc);
             self.stats.log_writes += 1;
-            self.log.append(tag, line, durable_old, t_done);
+            // `append` clamps durability to append order (the log region is
+            // a sequential buffer); the epoch's flush must wait for the
+            // clamped time, so write-ahead holds transitively across cores.
+            let t_done = self.log.append(tag, line, durable_old, t_done);
             let entry = self.log_ready.entry(tag).or_insert(t_done);
             *entry = (*entry).max(t_done);
         }
@@ -360,9 +364,16 @@ impl System {
             dependent: dep_tag,
         });
         if self.cfg.barrier.has_idt() {
-            let dep_ok = self.arbiters[requestor.index()]
-                .add_dependence(dep_epoch, src)
-                .is_ok();
+            let dep_ok = if drop_idt_edge_bug() {
+                // Injected bug: pretend the dependence was recorded. The
+                // checker still journals the ground-truth requirement, so
+                // the unenforced ordering shows up at some crash cycle.
+                true
+            } else {
+                self.arbiters[requestor.index()]
+                    .add_dependence(dep_epoch, src)
+                    .is_ok()
+            };
             if dep_ok {
                 self.emit(TraceEventKind::IdtRecord {
                     source: src,
@@ -370,7 +381,9 @@ impl System {
                 });
                 // Inform-register side; overflow there is tolerable because
                 // persist notifications are also broadcast.
-                let _ = self.arbiters[src.core.index()].add_inform(src.epoch, dep_tag);
+                if !drop_idt_edge_bug() {
+                    let _ = self.arbiters[src.core.index()].add_inform(src.epoch, dep_tag);
+                }
                 if let Some(ck) = self.checker.as_mut() {
                     ck.record_dependence(src, dep_tag);
                 }
@@ -392,6 +405,13 @@ impl System {
     /// (unchanged) tag, which now names the completed half.
     fn ensure_flushable(&mut self, tag: EpochTag) -> EpochTag {
         let j = tag.core.index();
+        if skip_deadlock_split_bug() {
+            // Injected bug: hand back the tag unsplit. Downstream flush
+            // requests then name an ongoing epoch, which the arbiter
+            // rejects (panic) or which wedges the run — either way the
+            // harness flags it.
+            return tag;
+        }
         if self.arbiters[j].ledger().current() == tag.epoch {
             self.arbiters[j].split_current();
             self.emit(TraceEventKind::DeadlockSplit {
@@ -553,5 +573,42 @@ impl System {
             self.banks[vb.index()].dir.drop_core(victim_addr, core);
         }
         Ok(())
+    }
+}
+
+/// True when the `drop-idt-edge` injected bug is active (always `false`
+/// without the `bug-inject` feature).
+fn drop_idt_edge_bug() -> bool {
+    #[cfg(feature = "bug-inject")]
+    {
+        pbm_types::bug::is_active(pbm_types::bug::InjectedBug::DropIdtEdge)
+    }
+    #[cfg(not(feature = "bug-inject"))]
+    {
+        false
+    }
+}
+
+/// True when the `skip-deadlock-split` injected bug is active.
+fn skip_deadlock_split_bug() -> bool {
+    #[cfg(feature = "bug-inject")]
+    {
+        pbm_types::bug::is_active(pbm_types::bug::InjectedBug::SkipDeadlockSplit)
+    }
+    #[cfg(not(feature = "bug-inject"))]
+    {
+        false
+    }
+}
+
+/// True when the `skip-undo-log` injected bug is active.
+fn skip_undo_log_bug() -> bool {
+    #[cfg(feature = "bug-inject")]
+    {
+        pbm_types::bug::is_active(pbm_types::bug::InjectedBug::SkipUndoLog)
+    }
+    #[cfg(not(feature = "bug-inject"))]
+    {
+        false
     }
 }

@@ -218,9 +218,14 @@ impl System {
         l1_lines.clear();
         self.scratch.l1_lines = l1_lines;
 
-        // Step 2–3 per bank.
+        // Step 2–3 per bank. The service order across banks is
+        // unspecified by the protocol (each bank handshakes with the MCs
+        // independently), so the schedule perturbator may rotate it to
+        // explore different MC-lane and NoC-link contention patterns.
         let log_ready = self.log_ready.remove(&tag).unwrap_or(t0);
-        for bi in 0..nbanks {
+        let rot = self.bank_rotation(nbanks);
+        for k in 0..nbanks {
+            let bi = (k + rot) % nbanks;
             let b = BankId::new(bi as u32);
             let t_fe = self.send_msg(
                 Self::node_core(core),
@@ -244,6 +249,7 @@ impl System {
                 let t_w = self.mcs[mc.index()].schedule_write(t_mc);
                 self.nvram.persist(line, value, t_w);
                 self.stats.nvram_writes += 1;
+                self.stats.epoch_flush_writes += 1;
                 let t_ack = self.send_msg(
                     NodeId::Mc(mc),
                     Self::node_bank(b),

@@ -40,10 +40,12 @@ mod access;
 mod event;
 mod flush;
 mod op;
+mod perturb;
 mod system;
 mod trace;
 
 pub use event::{Event, EventQueue, HeapEventQueue};
 pub use op::{Op, Program, ProgramBuilder};
+pub use perturb::SchedulePerturbation;
 pub use system::{FlushReason, System, VOLATILE_BASE};
 pub use trace::TraceParseError;

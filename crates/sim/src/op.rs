@@ -32,7 +32,7 @@ pub enum Op {
 }
 
 /// An immutable per-core operation sequence.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     ops: Vec<Op>,
 }

@@ -128,6 +128,9 @@ pub struct System {
     /// Observability hook: cycle-stamped event tracing and periodic
     /// metric sampling. Disabled (zero-cost) by default.
     pub(crate) obs: Observer,
+    /// Bank-rotation stream of the schedule perturbator (`None` = the
+    /// exact, unperturbed schedule).
+    pub(crate) perturb: Option<crate::perturb::PerturbRng>,
 }
 
 impl System {
@@ -194,6 +197,7 @@ impl System {
             checker: None,
             stats: SimStats::new(),
             obs: Observer::disabled(),
+            perturb: None,
             cfg,
         })
     }

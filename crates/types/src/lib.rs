@@ -24,6 +24,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[cfg(feature = "bug-inject")]
+pub mod bug;
+
 mod addr;
 mod config;
 mod error;

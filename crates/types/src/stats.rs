@@ -195,6 +195,12 @@ pub struct SimStats {
     pub nvram_reads: u64,
     /// Cache-line writes (persists) to NVRAM, excluding log/checkpoint.
     pub nvram_writes: u64,
+    /// The subset of [`SimStats::nvram_writes`] performed by epoch flushes
+    /// (the Figure 8 handshake), excluding evictions and write-through
+    /// persists. Equals the number of distinct dirty lines per flushed
+    /// epoch, which is why proactive flushing (§4) cannot change it — the
+    /// differential checker in `pbm-check` asserts exactly that.
+    pub epoch_flush_writes: u64,
     /// Undo-log line writes to NVRAM (BSP).
     pub log_writes: u64,
     /// Processor-state checkpoint line writes to NVRAM (BSP).
@@ -291,6 +297,7 @@ impl SimStats {
         self.llc_misses += other.llc_misses;
         self.nvram_reads += other.nvram_reads;
         self.nvram_writes += other.nvram_writes;
+        self.epoch_flush_writes += other.epoch_flush_writes;
         self.log_writes += other.log_writes;
         self.checkpoint_writes += other.checkpoint_writes;
         self.epochs_created += other.epochs_created;

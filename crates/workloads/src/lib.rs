@@ -41,6 +41,7 @@
 pub mod apps;
 mod heap;
 pub mod micro;
+pub mod random;
 mod workload;
 
 pub use heap::{HeapRegion, PersistentHeap};

@@ -1,0 +1,178 @@
+//! Shared random-program generation for consistency testing.
+//!
+//! One generator, two front doors: [`random_program`] / [`random_programs`]
+//! for explicitly-seeded use (the `pbm-check` fuzzing harness, where the
+//! seed must round-trip through corpus artifacts), and [`programs`] — a
+//! `proptest` [`Strategy`] over the same generator — for property tests.
+//! `tests/consistency.rs` and the harness both draw from here, so a
+//! program shape that exposes a bug in one shows up in the other.
+
+use pbm_sim::{Program, ProgramBuilder};
+use pbm_types::Addr;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters of the random mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomProgramParams {
+    /// Operations per core (a trailing barrier is always appended).
+    pub ops: usize,
+    /// Number of shared lines (line indices `0..shared_lines`).
+    pub shared_lines: u64,
+    /// When `true`, every store goes to the core's private range and the
+    /// "shared" loads read *other cores'* private ranges instead. Store
+    /// sets are then per-core disjoint, so the final drained NVRAM state
+    /// is schedule-independent — the property the differential checker
+    /// compares across barrier kinds — while cross-core loads still
+    /// create inter-thread dependences.
+    pub disjoint_stores: bool,
+    /// Cores in the workload (used to pick read targets in disjoint mode).
+    pub cores: usize,
+}
+
+impl RandomProgramParams {
+    /// The shape `tests/consistency.rs` historically used: 60 ops over 16
+    /// shared lines with shared stores.
+    pub fn mixed(ops: usize, shared_lines: u64) -> Self {
+        RandomProgramParams {
+            ops,
+            shared_lines,
+            disjoint_stores: false,
+            cores: 4,
+        }
+    }
+
+    /// Disjoint-store variant for differential final-state checks.
+    pub fn disjoint(ops: usize, cores: usize) -> Self {
+        RandomProgramParams {
+            ops,
+            shared_lines: 16,
+            disjoint_stores: true,
+            cores,
+        }
+    }
+}
+
+/// First private line index of `core` (32 lines per core).
+fn private_base(core: usize) -> u64 {
+    1_000 + core as u64 * 64
+}
+
+/// Generates the random program for `core` under `seed`.
+///
+/// With `disjoint_stores == false` this reproduces, byte for byte, the
+/// generator that used to live in `tests/consistency.rs`: a 50/20/20/10
+/// mix of stores (70% private) / shared loads / compute / barriers.
+pub fn random_program(seed: u64, core: usize, params: &RandomProgramParams) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed ^ (core as u64) << 32);
+    let mut b = ProgramBuilder::new();
+    for i in 0..params.ops {
+        match rng.gen_range(0..10) {
+            0..=4 => {
+                // Store, mostly private, sometimes shared (never shared in
+                // disjoint mode).
+                let line = if rng.gen_bool(0.3) && !params.disjoint_stores {
+                    rng.gen_range(0..params.shared_lines)
+                } else {
+                    private_base(core) + rng.gen_range(0..32)
+                };
+                b.store(Addr::new(line * 64), i as u32);
+            }
+            5..=6 => {
+                let line = if params.disjoint_stores {
+                    // Read another core's private range: creates the
+                    // inter-thread dependences without sharing stores.
+                    let other = rng.gen_range(0..params.cores.max(1));
+                    private_base(other) + rng.gen_range(0..32)
+                } else {
+                    rng.gen_range(0..params.shared_lines)
+                };
+                b.load(Addr::new(line * 64));
+            }
+            7..=8 => {
+                b.compute(rng.gen_range(1..200));
+            }
+            _ => {
+                b.barrier();
+            }
+        }
+    }
+    b.barrier();
+    b.build()
+}
+
+/// One [`random_program`] per core, all derived from `seed`.
+pub fn random_programs(seed: u64, cores: usize, params: &RandomProgramParams) -> Vec<Program> {
+    (0..cores)
+        .map(|c| random_program(seed, c, params))
+        .collect()
+}
+
+/// A `proptest` [`Strategy`] producing `(seed, programs)` pairs from the
+/// shared generator; the seed is kept so failures can be re-run or handed
+/// to the `pbm-check` harness verbatim.
+#[derive(Debug, Clone)]
+pub struct ProgramsStrategy {
+    cores: usize,
+    params: RandomProgramParams,
+}
+
+impl Strategy for ProgramsStrategy {
+    type Value = (u64, Vec<Program>);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        // Keep seeds small enough to quote in a test name or CLI flag.
+        let seed = rng.next_u64() % 1_000_000;
+        (seed, random_programs(seed, self.cores, &self.params))
+    }
+}
+
+/// Strategy over [`random_programs`] with `cores` cores and `params`.
+pub fn programs(cores: usize, params: RandomProgramParams) -> ProgramsStrategy {
+    ProgramsStrategy { cores, params }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbm_sim::Op;
+    use proptest::test_runner::TestRng;
+
+    #[test]
+    fn generator_is_deterministic_per_seed_and_core() {
+        let p = RandomProgramParams::mixed(60, 16);
+        assert_eq!(random_program(7, 1, &p), random_program(7, 1, &p));
+        assert_ne!(random_program(7, 1, &p), random_program(8, 1, &p));
+        assert_ne!(random_program(7, 1, &p), random_program(7, 2, &p));
+    }
+
+    #[test]
+    fn disjoint_mode_stores_stay_in_private_ranges() {
+        let p = RandomProgramParams::disjoint(80, 4);
+        for core in 0..4 {
+            let base = private_base(core) * 64;
+            for op in random_program(3, core, &p).ops() {
+                if let Op::Store(addr, _) = op {
+                    assert!(
+                        addr.as_u64() >= base && addr.as_u64() < base + 32 * 64,
+                        "core {core} stored outside its range: {addr:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_reuses_the_generator() {
+        let strat = programs(2, RandomProgramParams::mixed(20, 8));
+        let mut rng = TestRng::deterministic("random-programs");
+        let (seed, progs) = strat.generate(&mut rng);
+        assert_eq!(progs.len(), 2);
+        assert_eq!(
+            progs[0],
+            random_program(seed, 0, &RandomProgramParams::mixed(20, 8))
+        );
+    }
+}

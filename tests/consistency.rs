@@ -1,11 +1,14 @@
 //! Crash-consistency integration tests: random multithreaded workloads,
 //! every barrier variant, arbitrary crash points — the persistency model's
 //! guarantees must hold at all of them.
+//!
+//! The random-program generator lives in `pbm_workloads::random` and is
+//! shared with the `pbm-check` fuzzing harness, so any program shape that
+//! exposes a bug here can be replayed there (and vice versa).
 
 use pbm::prelude::*;
+use pbm_workloads::random::{programs, random_programs, RandomProgramParams};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn small_cfg(barrier: BarrierKind, persistency: PersistencyKind) -> SystemConfig {
     let mut cfg = SystemConfig::small_test();
@@ -14,43 +17,8 @@ fn small_cfg(barrier: BarrierKind, persistency: PersistencyKind) -> SystemConfig
     cfg
 }
 
-/// A random program mixing private and shared lines with barriers.
-fn random_program(seed: u64, core: usize, ops: usize, shared_lines: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed ^ (core as u64) << 32);
-    let mut b = ProgramBuilder::new();
-    let private_base = 1_000 + core as u64 * 64;
-    for i in 0..ops {
-        match rng.gen_range(0..10) {
-            0..=4 => {
-                // Store, mostly private, sometimes shared.
-                let line = if rng.gen_bool(0.3) {
-                    rng.gen_range(0..shared_lines)
-                } else {
-                    private_base + rng.gen_range(0..32)
-                };
-                b.store(Addr::new(line * 64), i as u32);
-            }
-            5..=6 => {
-                let line = rng.gen_range(0..shared_lines);
-                b.load(Addr::new(line * 64));
-            }
-            7..=8 => {
-                b.compute(rng.gen_range(1..200));
-            }
-            _ => {
-                b.barrier();
-            }
-        }
-    }
-    b.barrier();
-    b.build()
-}
-
-fn check_bep_everywhere(seed: u64, barrier: BarrierKind) {
+fn check_bep_programs(programs: Vec<Program>, barrier: BarrierKind, seed: u64) {
     let cfg = small_cfg(barrier, PersistencyKind::BufferedEpoch);
-    let programs = (0..cfg.cores)
-        .map(|c| random_program(seed, c, 60, 16))
-        .collect();
     let mut sys = System::new(cfg, programs).expect("valid config");
     sys.enable_checking();
     let stats = sys.run();
@@ -64,6 +32,12 @@ fn check_bep_everywhere(seed: u64, barrier: BarrierKind) {
     }
     // The recorded dependence graph must be acyclic (deadlock freedom).
     assert!(ck.hb_graph().is_acyclic(), "{barrier}: cyclic dependences");
+}
+
+fn check_bep_everywhere(seed: u64, barrier: BarrierKind) {
+    let cfg = small_cfg(barrier, PersistencyKind::BufferedEpoch);
+    let params = RandomProgramParams::mixed(60, 16);
+    check_bep_programs(random_programs(seed, cfg.cores, &params), barrier, seed);
 }
 
 #[test]
@@ -81,9 +55,8 @@ fn bsp_recovery_is_atomic_for_every_lazy_barrier() {
         for seed in [11u64, 12] {
             let mut cfg = small_cfg(barrier, PersistencyKind::BufferedStrictBulk);
             cfg.bsp_epoch_size = 7;
-            let programs = (0..cfg.cores)
-                .map(|c| random_program(seed, c, 50, 12))
-                .collect();
+            let params = RandomProgramParams::mixed(50, 12);
+            let programs = random_programs(seed, cfg.cores, &params);
             let mut sys = System::new(cfg, programs).expect("valid config");
             sys.enable_checking();
             let stats = sys.run();
@@ -130,8 +103,11 @@ proptest! {
 
     /// Random seeds, random crash points: LB++ never violates BEP.
     #[test]
-    fn prop_lbpp_bep_consistency(seed in 100u64..200) {
-        check_bep_everywhere(seed, BarrierKind::LbPp);
+    fn prop_lbpp_bep_consistency(
+        case in programs(4, RandomProgramParams::mixed(60, 16))
+    ) {
+        let (seed, progs) = case;
+        check_bep_programs(progs, BarrierKind::LbPp, seed);
     }
 
     /// Determinism: a workload produces identical statistics on every run.
@@ -139,9 +115,8 @@ proptest! {
     fn prop_runs_are_deterministic(seed in 0u64..50) {
         let mk = || {
             let cfg = small_cfg(BarrierKind::LbPp, PersistencyKind::BufferedEpoch);
-            let programs = (0..cfg.cores)
-                .map(|c| random_program(seed, c, 40, 8))
-                .collect();
+            let params = RandomProgramParams::mixed(40, 8);
+            let programs = random_programs(seed, cfg.cores, &params);
             let mut sys = System::new(cfg, programs).expect("valid config");
             sys.run()
         };

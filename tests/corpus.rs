@@ -1,0 +1,40 @@
+//! Replays every corpus artifact in `tests/corpus/` against the real
+//! design.
+//!
+//! Each artifact is a shrunk case that once reproduced an (injected or
+//! real) bug — see `pbm_check::artifact` for the format and `check
+//! --bugs=all` for how they are minted. Replaying them here keeps the
+//! corpus a permanent regression fence: the real design must stay
+//! consistent on every program shape that has ever found a bug.
+
+use pbm_check::{decode_case, run_case};
+use std::fs;
+use std::path::PathBuf;
+
+#[test]
+fn corpus_replays_clean_on_the_real_design() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+    let mut artifacts: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    artifacts.sort();
+    assert!(!artifacts.is_empty(), "the corpus is never empty");
+    for path in artifacts {
+        let text = fs::read_to_string(&path).expect("readable artifact");
+        let artifact = decode_case(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            artifact.spec.total_ops() <= 20,
+            "{}: corpus cases are shrunk to <= 20 ops, found {}",
+            path.display(),
+            artifact.spec.total_ops()
+        );
+        if let Err(failure) = run_case(&artifact.spec) {
+            panic!(
+                "{}: replays dirty on the real design: {failure}",
+                path.display()
+            );
+        }
+    }
+}
