@@ -1,0 +1,277 @@
+//! Diagnostics: what the analyzer reports, how severe it is, and how a
+//! workload author silences a finding they have judged benign.
+
+use std::fmt;
+
+/// A reference to one operation: `(core, index into that core's program)`.
+///
+/// This is the span unit of every diagnostic — programs are straight-line,
+/// so an op index is as precise as a source line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpRef {
+    /// Core whose program contains the op.
+    pub core: usize,
+    /// Index of the op in that core's program.
+    pub op: usize,
+}
+
+impl fmt::Display for OpRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}:op{}", self.core, self.op)
+    }
+}
+
+/// How bad a finding is.
+///
+/// `Error` gates CI (the `analyze` binary exits nonzero on any
+/// unsuppressed error); `Warning` is reported but non-fatal — the
+/// micro-benchmarks legitimately warn (lock-mediated conflict cycles that
+/// the hardware resolves with §3.3 splits); `Info` is context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational — expected behaviour worth surfacing.
+    Info,
+    /// Suspicious but survivable; the hardware or the programmer may have
+    /// it covered.
+    Warning,
+    /// A crash-consistency hazard under the configured persistency model.
+    Error,
+}
+
+impl Severity {
+    /// Stable lower-case label (report format).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The analyzer's diagnostic catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagKind {
+    /// Two cores store the same persistent line with no common lock: the
+    /// persist order of their epochs depends on the race winner.
+    PersistencyRace,
+    /// A strongly connected component in the static happens-before graph
+    /// spanning at least two conflict lines: at runtime the epoch flush
+    /// protocol would need §3.3 deadlock-avoidance splits to make
+    /// progress.
+    EpochDeadlockCycle,
+    /// A persist barrier closing an epoch with no persistent stores: it
+    /// orders nothing.
+    RedundantBarrier,
+    /// Persistent stores after the last barrier of a program: under BEP
+    /// they sit in a never-closed epoch and may not persist before a
+    /// crash.
+    TailWrites,
+    /// A store whose line another core reads (then relies on data written
+    /// earlier in the same epoch): publication without a separating
+    /// barrier, the Figure-10 commit-protocol bug.
+    UnorderedPublication,
+    /// A critical section wrote persistent data but releases the lock
+    /// without a barrier: the next owner can observe (and republish)
+    /// unpersisted state.
+    UnlockWithoutBarrier,
+    /// Unlock of a lock that is not held, or a lock still held when the
+    /// program ends.
+    LockImbalance,
+}
+
+impl DiagKind {
+    /// Every kind, in a stable order.
+    pub const ALL: [DiagKind; 7] = [
+        DiagKind::PersistencyRace,
+        DiagKind::EpochDeadlockCycle,
+        DiagKind::RedundantBarrier,
+        DiagKind::TailWrites,
+        DiagKind::UnorderedPublication,
+        DiagKind::UnlockWithoutBarrier,
+        DiagKind::LockImbalance,
+    ];
+
+    /// Stable kebab-case name (suppression and report format).
+    pub const fn name(self) -> &'static str {
+        match self {
+            DiagKind::PersistencyRace => "persistency-race",
+            DiagKind::EpochDeadlockCycle => "epoch-deadlock-cycle",
+            DiagKind::RedundantBarrier => "redundant-barrier",
+            DiagKind::TailWrites => "tail-writes",
+            DiagKind::UnorderedPublication => "unordered-publication",
+            DiagKind::UnlockWithoutBarrier => "unlock-without-barrier",
+            DiagKind::LockImbalance => "lock-imbalance",
+        }
+    }
+
+    /// Parses a [`Self::name`] string.
+    pub fn from_name(name: &str) -> Option<DiagKind> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for DiagKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub kind: DiagKind,
+    /// How severe it is under the analyzed persistency model.
+    pub severity: Severity,
+    /// Human explanation, self-contained.
+    pub message: String,
+    /// The ops the finding is anchored to (first span is the primary one).
+    pub spans: Vec<OpRef>,
+    /// Persistent line numbers involved.
+    pub lines: Vec<u64>,
+    /// True if a [`Suppression`] matched; suppressed findings are kept in
+    /// the report but do not gate.
+    pub suppressed: bool,
+}
+
+/// A per-finding suppression: comma-separated `key=value` constraints.
+///
+/// Keys: `kind` (diagnostic name), `core`, `op`, `line` (decimal or
+/// `0x…` hex line number). Every given key must match; omitted keys match
+/// anything. `core`/`op` must match within a *single* span of the
+/// diagnostic.
+///
+/// ```
+/// use pbm_analyze::Suppression;
+/// let s = Suppression::parse("kind=persistency-race,core=1,line=0x40").unwrap();
+/// assert_eq!(s.line, Some(0x40));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Suppression {
+    /// Diagnostic kind to match, if constrained.
+    pub kind: Option<DiagKind>,
+    /// Core a span must mention, if constrained.
+    pub core: Option<usize>,
+    /// Op index a span must mention, if constrained.
+    pub op: Option<usize>,
+    /// Line number the finding must involve, if constrained.
+    pub line: Option<u64>,
+}
+
+impl Suppression {
+    /// Parses the `key=value[,key=value…]` syntax.
+    pub fn parse(spec: &str) -> Result<Suppression, String> {
+        let mut s = Suppression::default();
+        let mut any = false;
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("suppression {part:?} is not key=value"))?;
+            let parse_num = |v: &str| -> Result<u64, String> {
+                let r = match v.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                };
+                r.map_err(|_| format!("bad number {v:?} in suppression"))
+            };
+            match key {
+                "kind" => {
+                    s.kind = Some(
+                        DiagKind::from_name(value)
+                            .ok_or_else(|| format!("unknown diagnostic kind {value:?}"))?,
+                    );
+                }
+                "core" => s.core = Some(parse_num(value)? as usize),
+                "op" => s.op = Some(parse_num(value)? as usize),
+                "line" => s.line = Some(parse_num(value)?),
+                _ => return Err(format!("unknown suppression key {key:?}")),
+            }
+            any = true;
+        }
+        if !any {
+            return Err("empty suppression".to_string());
+        }
+        Ok(s)
+    }
+
+    /// True if every given key matches `diag`.
+    pub fn matches(&self, diag: &Diagnostic) -> bool {
+        if self.kind.is_some_and(|k| k != diag.kind) {
+            return false;
+        }
+        if self.line.is_some_and(|l| !diag.lines.contains(&l)) {
+            return false;
+        }
+        if self.core.is_some() || self.op.is_some() {
+            let span_hit = diag.spans.iter().any(|s| {
+                self.core.is_none_or(|c| c == s.core) && self.op.is_none_or(|o| o == s.op)
+            });
+            if !span_hit {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            kind: DiagKind::PersistencyRace,
+            severity: Severity::Error,
+            message: "race".into(),
+            spans: vec![OpRef { core: 1, op: 2 }, OpRef { core: 3, op: 9 }],
+            lines: vec![0x40],
+            suppressed: false,
+        }
+    }
+
+    #[test]
+    fn kinds_round_trip() {
+        for k in DiagKind::ALL {
+            assert_eq!(DiagKind::from_name(k.name()), Some(k));
+            assert_eq!(k.to_string(), k.name());
+        }
+        assert_eq!(DiagKind::from_name("no-such"), None);
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn suppressions_parse_and_match() {
+        let s = Suppression::parse("kind=persistency-race,core=1,op=2,line=0x40").unwrap();
+        assert!(s.matches(&diag()));
+        // Same keys on different spans do not combine across spans.
+        let cross = Suppression::parse("core=1,op=9").unwrap();
+        assert!(!cross.matches(&diag()));
+        assert!(Suppression::parse("core=3,op=9").unwrap().matches(&diag()));
+        assert!(!Suppression::parse("kind=tail-writes")
+            .unwrap()
+            .matches(&diag()));
+        assert!(Suppression::parse("line=64").unwrap().matches(&diag()));
+        assert!(!Suppression::parse("line=65").unwrap().matches(&diag()));
+    }
+
+    #[test]
+    fn suppression_parse_rejects_garbage() {
+        assert!(Suppression::parse("").is_err());
+        assert!(Suppression::parse("core").is_err());
+        assert!(Suppression::parse("core=x").is_err());
+        assert!(Suppression::parse("kind=nope").is_err());
+        assert!(Suppression::parse("banana=1").is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Static epoch partitioning: split each core's straight-line program into
+//! the epochs the hardware would form, without running it.
+//!
+//! Under BEP/EP the programmer's barriers cut epochs; under BSP bulk mode
+//! the hardware cuts every `bsp_epoch_size` persistent stores. Each
+//! persistent-line access is annotated with its epoch and the lock lines
+//! held when it executes — the lockset is what decides, later, whether two
+//! conflicting accesses are ordered by mutual exclusion or race.
+
+use crate::diag::OpRef;
+use crate::AnalyzeConfig;
+use pbm_sim::{Op, Program};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// One persistent-line access with its static context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// Where it is.
+    pub at: OpRef,
+    /// Line number accessed.
+    pub line: u64,
+    /// Store (true) or load (false).
+    pub is_store: bool,
+    /// The core's static epoch the access belongs to.
+    pub epoch: u64,
+    /// Lock lines held when the access executes.
+    pub locks: BTreeSet<u64>,
+}
+
+/// One static epoch of one core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticEpoch {
+    /// Owning core.
+    pub core: usize,
+    /// Per-core epoch sequence number (0-based, matches
+    /// [`pbm_types::EpochId`] numbering).
+    pub index: u64,
+    /// Op-index span `[start, end)` in the core's program. A barrier that
+    /// closes the epoch is *inside* the span.
+    pub span: Range<usize>,
+    /// Index of the programmer barrier that closes the epoch; `None` for
+    /// the tail epoch and for hardware-cut (BSP) epochs.
+    pub closed_by: Option<usize>,
+    /// Number of persistent stores in the epoch.
+    pub persistent_stores: usize,
+}
+
+/// Everything the partitioning pass learns about one core.
+#[derive(Debug, Clone, Default)]
+pub struct CoreAnalysis {
+    /// The core index.
+    pub core: usize,
+    /// The core's static epochs, in program order (always at least one
+    /// for a non-empty program).
+    pub epochs: Vec<StaticEpoch>,
+    /// Persistent-line accesses, in program order.
+    pub accesses: Vec<Access>,
+    /// `Unlock` ops releasing a lock that was not held.
+    pub unbalanced_unlocks: Vec<OpRef>,
+    /// `Lock` ops whose lock is still held when the program ends.
+    pub held_at_end: Vec<OpRef>,
+    /// `Unlock` ops released after a persistent store in the critical
+    /// section with no barrier in between.
+    pub unlock_without_barrier: Vec<OpRef>,
+}
+
+/// Partitions `program` into static epochs under `cfg`.
+pub fn partition(core: usize, program: &Program, cfg: &AnalyzeConfig) -> CoreAnalysis {
+    let mut out = CoreAnalysis {
+        core,
+        ..CoreAnalysis::default()
+    };
+    // lock line -> (acquiring op, persistent store since the last barrier
+    // while held).
+    let mut held: BTreeMap<u64, (usize, bool)> = BTreeMap::new();
+    let mut epoch: u64 = 0;
+    let mut epoch_start = 0usize;
+    let mut epoch_stores = 0usize;
+    let hardware_cuts = cfg.hardware_epochs();
+    let cut = |epochs: &mut Vec<StaticEpoch>,
+               epoch: &mut u64,
+               start: &mut usize,
+               stores: &mut usize,
+               closer: Option<usize>,
+               end: usize| {
+        epochs.push(StaticEpoch {
+            core,
+            index: *epoch,
+            span: *start..end,
+            closed_by: closer,
+            persistent_stores: *stores,
+        });
+        *epoch += 1;
+        *start = end;
+        *stores = 0;
+    };
+    for (i, &op) in program.ops().iter().enumerate() {
+        let at = OpRef { core, op: i };
+        match op {
+            Op::Load(a) | Op::Store(a, _) => {
+                let is_store = matches!(op, Op::Store(_, _));
+                if a.as_u64() < cfg.volatile_base {
+                    out.accesses.push(Access {
+                        at,
+                        line: a.line().as_u64(),
+                        is_store,
+                        epoch,
+                        locks: held.keys().copied().collect(),
+                    });
+                    if is_store {
+                        epoch_stores += 1;
+                        for (_, dirty) in held.values_mut() {
+                            *dirty = true;
+                        }
+                        if hardware_cuts && epoch_stores as u64 >= cfg.bsp_epoch_size {
+                            cut(
+                                &mut out.epochs,
+                                &mut epoch,
+                                &mut epoch_start,
+                                &mut epoch_stores,
+                                None,
+                                i + 1,
+                            );
+                        }
+                    }
+                }
+            }
+            Op::Barrier => {
+                cut(
+                    &mut out.epochs,
+                    &mut epoch,
+                    &mut epoch_start,
+                    &mut epoch_stores,
+                    Some(i),
+                    i + 1,
+                );
+                for (_, dirty) in held.values_mut() {
+                    *dirty = false;
+                }
+            }
+            Op::Lock(a) => {
+                held.insert(a.line().as_u64(), (i, false));
+            }
+            Op::Unlock(a) => match held.remove(&a.line().as_u64()) {
+                Some((_, dirty)) => {
+                    if dirty {
+                        out.unlock_without_barrier.push(at);
+                    }
+                }
+                None => out.unbalanced_unlocks.push(at),
+            },
+            Op::Compute(_) | Op::TxEnd => {}
+        }
+    }
+    // The tail epoch: whatever follows the last cut stays in a
+    // never-closed epoch.
+    if epoch_start < program.len() {
+        out.epochs.push(StaticEpoch {
+            core,
+            index: epoch,
+            span: epoch_start..program.len(),
+            closed_by: None,
+            persistent_stores: epoch_stores,
+        });
+    }
+    for &(lock_op, _) in held.values() {
+        out.held_at_end.push(OpRef { core, op: lock_op });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbm_sim::ProgramBuilder;
+    use pbm_types::Addr;
+
+    fn bep() -> AnalyzeConfig {
+        AnalyzeConfig::bep()
+    }
+
+    #[test]
+    fn barriers_cut_epochs_and_count_stores() {
+        let mut b = ProgramBuilder::new();
+        b.store(Addr::new(0), 1)
+            .store(Addr::new(64), 2)
+            .barrier()
+            .load(Addr::new(0))
+            .barrier()
+            .store(Addr::new(128), 3);
+        let ca = partition(0, &b.build(), &bep());
+        assert_eq!(ca.epochs.len(), 3);
+        assert_eq!(ca.epochs[0].persistent_stores, 2);
+        assert_eq!(ca.epochs[0].closed_by, Some(2));
+        assert_eq!(ca.epochs[1].persistent_stores, 0);
+        assert_eq!(ca.epochs[2].closed_by, None, "tail epoch is open");
+        assert_eq!(ca.epochs[2].persistent_stores, 1);
+        assert_eq!(ca.accesses.len(), 4);
+        assert_eq!(ca.accesses[3].epoch, 2);
+    }
+
+    #[test]
+    fn volatile_accesses_are_ignored() {
+        let mut b = ProgramBuilder::new();
+        b.store(Addr::new(pbm_sim::VOLATILE_BASE + 64), 1)
+            .store(Addr::new(64), 2);
+        let ca = partition(0, &b.build(), &bep());
+        assert_eq!(ca.accesses.len(), 1);
+        assert_eq!(ca.epochs[0].persistent_stores, 1);
+    }
+
+    #[test]
+    fn locksets_track_held_locks() {
+        let l1 = Addr::new(pbm_sim::VOLATILE_BASE);
+        let l2 = Addr::new(pbm_sim::VOLATILE_BASE + 64);
+        let mut b = ProgramBuilder::new();
+        b.lock(l1)
+            .store(Addr::new(0), 1)
+            .lock(l2)
+            .store(Addr::new(64), 2)
+            .barrier()
+            .unlock(l2)
+            .unlock(l1)
+            .store(Addr::new(128), 3);
+        let ca = partition(0, &b.build(), &bep());
+        assert_eq!(ca.accesses[0].locks.len(), 1);
+        assert_eq!(ca.accesses[1].locks.len(), 2);
+        assert!(ca.accesses[2].locks.is_empty());
+        assert!(
+            ca.unlock_without_barrier.is_empty(),
+            "barrier before unlock"
+        );
+        assert!(ca.unbalanced_unlocks.is_empty());
+        assert!(ca.held_at_end.is_empty());
+    }
+
+    #[test]
+    fn dirty_unlock_and_imbalance_are_recorded() {
+        let l1 = Addr::new(pbm_sim::VOLATILE_BASE);
+        let l2 = Addr::new(pbm_sim::VOLATILE_BASE + 64);
+        let mut b = ProgramBuilder::new();
+        b.lock(l1)
+            .store(Addr::new(0), 1)
+            .unlock(l1) // dirty: store, no barrier
+            .unlock(l2) // not held
+            .lock(l2); // never released
+        let ca = partition(0, &b.build(), &bep());
+        assert_eq!(ca.unlock_without_barrier, vec![OpRef { core: 0, op: 2 }]);
+        assert_eq!(ca.unbalanced_unlocks, vec![OpRef { core: 0, op: 3 }]);
+        assert_eq!(ca.held_at_end, vec![OpRef { core: 0, op: 4 }]);
+    }
+
+    #[test]
+    fn bsp_cuts_every_n_persistent_stores() {
+        let mut b = ProgramBuilder::new();
+        for i in 0..7u64 {
+            b.store(Addr::new(i * 64), i as u32);
+        }
+        let mut cfg = AnalyzeConfig::bsp(3);
+        cfg.bsp_epoch_size = 3;
+        let ca = partition(1, &b.build(), &cfg);
+        assert_eq!(ca.epochs.len(), 3, "3 + 3 + tail(1)");
+        assert_eq!(ca.epochs[0].persistent_stores, 3);
+        assert_eq!(ca.epochs[0].closed_by, None, "hardware cut, no barrier op");
+        assert_eq!(ca.epochs[2].persistent_stores, 1);
+        assert_eq!(ca.accesses[6].epoch, 2);
+    }
+
+    #[test]
+    fn empty_program_has_no_epochs() {
+        let ca = partition(0, &Program::empty(), &bep());
+        assert!(ca.epochs.is_empty());
+        assert!(ca.accesses.is_empty());
+    }
+}

@@ -1,0 +1,376 @@
+//! The static must/may happens-before graph over static epochs.
+//!
+//! Must edges are program order (each core's epoch chain). May edges are
+//! cross-core conflicts on persistent lines: a writer's epoch may have to
+//! persist before any other core's epoch that touches the same line,
+//! depending on the runtime access order. Lock-mediated conflicts *stay*
+//! in the may graph — mutual exclusion orders the accesses but the persist
+//! dependence (and the §3.3 splits it can force) exists either way; locks
+//! only decide whether a conflict is also a *race* (see the diagnostics in
+//! `lib.rs`).
+//!
+//! Conflict structure in real workloads is periodic (every transaction
+//! re-touches the same hot lines), so materializing every epoch pair on a
+//! hot line is quadratic noise. Per line and core the graph keeps the
+//! first [`MAX_EPOCHS_PER_LINE_CORE`] conflicting epochs — a cycle among
+//! late epochs has an isomorphic image among the earliest ones — while
+//! race detection and the split bound use exact whole-program summaries.
+
+use crate::diag::OpRef;
+use crate::epoch::CoreAnalysis;
+use pbm_core::HbGraph;
+use pbm_types::{CoreId, EpochId, EpochTag};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Epoch-pair materialization cap per (line, core); see the module doc.
+pub const MAX_EPOCHS_PER_LINE_CORE: usize = 8;
+
+/// Exact per-line conflict summary (all cores, whole program).
+#[derive(Debug, Clone, Default)]
+pub struct LineConflicts {
+    /// Distinct locksets under which each core *stores* the line, with the
+    /// first store op per lockset. Distinct locksets per core per line are
+    /// few in practice (usually one), which keeps race checks cheap on hot
+    /// lines with thousands of accesses.
+    pub store_locksets: BTreeMap<usize, Vec<(BTreeSet<u64>, OpRef)>>,
+    /// Distinct locksets under which each core *loads* the line.
+    pub load_locksets: BTreeMap<usize, Vec<(BTreeSet<u64>, OpRef)>>,
+    /// First [`MAX_EPOCHS_PER_LINE_CORE`] distinct epochs per core that
+    /// store the line.
+    pub writer_epochs: BTreeMap<usize, Vec<(u64, OpRef)>>,
+    /// First [`MAX_EPOCHS_PER_LINE_CORE`] distinct epochs per core that
+    /// access the line at all.
+    pub accessor_epochs: BTreeMap<usize, Vec<(u64, OpRef)>>,
+    /// Every core that stores the line (exact, uncapped).
+    pub writer_cores: BTreeSet<usize>,
+}
+
+/// One materialized cross-core may edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MayEdge {
+    /// Writer epoch (must persist first if the writer's access wins).
+    pub from: EpochTag,
+    /// Dependent epoch.
+    pub to: EpochTag,
+    /// The conflicting line.
+    pub line: u64,
+    /// Representative op on the writer side.
+    pub from_op: OpRef,
+    /// Representative op on the dependent side.
+    pub to_op: OpRef,
+}
+
+/// A potential dependence cycle: one strongly connected component of the
+/// static graph whose may edges span at least two distinct lines.
+#[derive(Debug, Clone)]
+pub struct CycleFinding {
+    /// A concrete witness walk through the component (closing edge back to
+    /// the first element implied), from [`HbGraph::find_cycle`].
+    pub witness: Vec<EpochTag>,
+    /// The distinct conflict lines inside the component.
+    pub lines: Vec<u64>,
+    /// Representative ops, one per witness epoch where available.
+    pub spans: Vec<OpRef>,
+}
+
+/// The built graph plus everything the diagnostics need from it.
+#[derive(Debug, Clone, Default)]
+pub struct StaticHb {
+    /// Program order + may dependences, on [`pbm_core::HbGraph`] so the
+    /// analyzer shares the simulator's graph machinery (cycle witnesses,
+    /// prefix checks in tests).
+    pub hb: HbGraph,
+    /// Exact per-line conflict summaries.
+    pub lines: BTreeMap<u64, LineConflicts>,
+    /// Materialized (capped, deduplicated) cross-core may edges.
+    pub may_edges: Vec<MayEdge>,
+    /// Sound upper bound on §3.3 deadlock-avoidance splits: the number of
+    /// ops that access a persistent line some *other* core stores. Every
+    /// access-triggered split is caused by such an op, so the simulator's
+    /// `deadlock_splits` counter never exceeds this (eviction-triggered
+    /// splits are bounded separately by `epochs_eviction_flushed`).
+    pub predicted_split_bound: u64,
+}
+
+fn tag(core: usize, epoch: u64) -> EpochTag {
+    EpochTag::new(CoreId::new(core as u32), EpochId::new(epoch))
+}
+
+/// Builds the static graph from the per-core partitions.
+pub fn build(cores: &[CoreAnalysis]) -> StaticHb {
+    let mut out = StaticHb::default();
+    // Program order: each core's epoch chain.
+    for ca in cores {
+        for pair in ca.epochs.windows(2) {
+            out.hb
+                .add_program_order(tag(ca.core, pair[0].index), tag(ca.core, pair[1].index));
+        }
+    }
+    // Exact per-line summaries.
+    for ca in cores {
+        for a in &ca.accesses {
+            let lc = out.lines.entry(a.line).or_default();
+            let locksets = if a.is_store {
+                lc.store_locksets.entry(ca.core).or_default()
+            } else {
+                lc.load_locksets.entry(ca.core).or_default()
+            };
+            if !locksets.iter().any(|(s, _)| *s == a.locks) {
+                locksets.push((a.locks.clone(), a.at));
+            }
+            if a.is_store {
+                lc.writer_cores.insert(ca.core);
+                let we = lc.writer_epochs.entry(ca.core).or_default();
+                if we.len() < MAX_EPOCHS_PER_LINE_CORE
+                    && we.last().is_none_or(|&(e, _)| e != a.epoch)
+                {
+                    we.push((a.epoch, a.at));
+                }
+            }
+            let ae = lc.accessor_epochs.entry(ca.core).or_default();
+            if ae.len() < MAX_EPOCHS_PER_LINE_CORE && ae.last().is_none_or(|&(e, _)| e != a.epoch) {
+                ae.push((a.epoch, a.at));
+            }
+        }
+    }
+    // The split bound: one potential split per op touching a line another
+    // core stores.
+    for ca in cores {
+        for a in &ca.accesses {
+            let lc = &out.lines[&a.line];
+            if lc.writer_cores.iter().any(|&w| w != ca.core) {
+                out.predicted_split_bound += 1;
+            }
+        }
+    }
+    // May edges: writer epoch -> any other core's conflicting epoch.
+    let mut seen: BTreeSet<(EpochTag, EpochTag, u64)> = BTreeSet::new();
+    for (&line, lc) in &out.lines {
+        for (&wc, writers) in &lc.writer_epochs {
+            for (&ac, accessors) in &lc.accessor_epochs {
+                if wc == ac {
+                    continue;
+                }
+                for &(we, wop) in writers {
+                    for &(ae, aop) in accessors {
+                        let (from, to) = (tag(wc, we), tag(ac, ae));
+                        if seen.insert((from, to, line)) {
+                            out.hb.add_dependence(from, to);
+                            out.may_edges.push(MayEdge {
+                                from,
+                                to,
+                                line,
+                                from_op: wop,
+                                to_op: aop,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl StaticHb {
+    /// Finds the potential dependence cycles: SCCs of the combined graph
+    /// whose may edges span ≥ 2 distinct lines. Single-line components are
+    /// skipped — a conflict on one line linearizes at runtime (the
+    /// dependence direction follows the access order), so only multi-line
+    /// interleavings can deadlock the flush protocol (Figure 6).
+    pub fn cycles(&self) -> Vec<CycleFinding> {
+        let sccs = self.sccs();
+        let mut findings = Vec::new();
+        for scc in sccs {
+            if scc.len() < 2 {
+                continue;
+            }
+            let nodes: BTreeSet<EpochTag> = scc.iter().copied().collect();
+            let mut lines = BTreeSet::new();
+            let mut spans = Vec::new();
+            let mut sub = HbGraph::new();
+            for e in &self.may_edges {
+                if nodes.contains(&e.from) && nodes.contains(&e.to) {
+                    lines.insert(e.line);
+                    spans.push(e.from_op);
+                    sub.add_dependence(e.from, e.to);
+                }
+            }
+            if lines.len() < 2 {
+                continue;
+            }
+            // Program-order edges inside the component complete the walk.
+            for &a in &nodes {
+                for &b in &nodes {
+                    if a.core == b.core && a.precedes_same_core(b) {
+                        sub.add_program_order(a, b);
+                    }
+                }
+            }
+            let witness = sub
+                .find_cycle()
+                .expect("an SCC with >= 2 nodes has a cycle");
+            spans.sort_unstable();
+            spans.dedup();
+            spans.truncate(8);
+            findings.push(CycleFinding {
+                witness,
+                lines: lines.into_iter().collect(),
+                spans,
+            });
+        }
+        findings
+    }
+
+    /// Tarjan's strongly-connected components, iteratively.
+    fn sccs(&self) -> Vec<Vec<EpochTag>> {
+        let nodes: Vec<EpochTag> = self.hb.nodes().collect();
+        let adj: BTreeMap<EpochTag, Vec<EpochTag>> =
+            nodes.iter().map(|&n| (n, self.hb.successors(n))).collect();
+        let mut index_of: BTreeMap<EpochTag, usize> = BTreeMap::new();
+        let mut low: BTreeMap<EpochTag, usize> = BTreeMap::new();
+        let mut on_stack: BTreeSet<EpochTag> = BTreeSet::new();
+        let mut stack: Vec<EpochTag> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs = Vec::new();
+        // Explicit DFS frames: (node, next successor position).
+        for &root in &nodes {
+            if index_of.contains_key(&root) {
+                continue;
+            }
+            let mut frames: Vec<(EpochTag, usize)> = vec![(root, 0)];
+            index_of.insert(root, next_index);
+            low.insert(root, next_index);
+            next_index += 1;
+            stack.push(root);
+            on_stack.insert(root);
+            while let Some(&(v, pos)) = frames.last() {
+                if let Some(&w) = adj[&v].get(pos) {
+                    frames.last_mut().expect("frame exists").1 += 1;
+                    if let Some(&wi) = index_of.get(&w) {
+                        if on_stack.contains(&w) {
+                            let lv = low[&v].min(wi);
+                            low.insert(v, lv);
+                        }
+                    } else {
+                        index_of.insert(w, next_index);
+                        low.insert(w, next_index);
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack.insert(w);
+                        frames.push((w, 0));
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        let lv = low[&parent].min(low[&v]);
+                        low.insert(parent, lv);
+                    }
+                    if low[&v] == index_of[&v] {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("root still on stack");
+                            on_stack.remove(&w);
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::partition;
+    use crate::AnalyzeConfig;
+    use pbm_sim::ProgramBuilder;
+    use pbm_types::Addr;
+
+    fn analyze_cores(programs: Vec<pbm_sim::Program>) -> Vec<CoreAnalysis> {
+        let cfg = AnalyzeConfig::bep();
+        programs
+            .iter()
+            .enumerate()
+            .map(|(c, p)| partition(c, p, &cfg))
+            .collect()
+    }
+
+    #[test]
+    fn disjoint_programs_have_no_may_edges() {
+        let mut a = ProgramBuilder::new();
+        a.store(Addr::new(0), 1).barrier().store(Addr::new(64), 2);
+        let mut b = ProgramBuilder::new();
+        b.store(Addr::new(128), 1).barrier();
+        let hb = build(&analyze_cores(vec![a.build(), b.build()]));
+        assert!(hb.may_edges.is_empty());
+        assert_eq!(hb.predicted_split_bound, 0);
+        assert!(hb.cycles().is_empty());
+        assert!(hb.hb.is_acyclic(), "program order alone is acyclic");
+    }
+
+    #[test]
+    fn single_line_ww_is_not_a_cycle_finding() {
+        let mut a = ProgramBuilder::new();
+        a.store(Addr::new(0), 1);
+        let mut b = ProgramBuilder::new();
+        b.store(Addr::new(0), 2);
+        let hb = build(&analyze_cores(vec![a.build(), b.build()]));
+        assert_eq!(hb.may_edges.len(), 2, "WW conflicts go both ways");
+        assert!(!hb.hb.is_acyclic(), "the 2-cycle exists in the may graph");
+        assert!(hb.cycles().is_empty(), "but one line cannot deadlock");
+        assert_eq!(hb.predicted_split_bound, 2);
+    }
+
+    #[test]
+    fn two_line_interleaving_is_a_cycle_finding() {
+        // The Figure-6 shape: both cores write A and B in one epoch.
+        let mut a = ProgramBuilder::new();
+        a.store(Addr::new(0), 1).store(Addr::new(64), 1);
+        let mut b = ProgramBuilder::new();
+        b.store(Addr::new(64), 2).store(Addr::new(0), 2);
+        let hb = build(&analyze_cores(vec![a.build(), b.build()]));
+        let cycles = hb.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].lines, vec![0, 1]);
+        assert!(cycles[0].witness.len() >= 2);
+        assert!(!cycles[0].spans.is_empty());
+    }
+
+    #[test]
+    fn writer_reader_edges_are_one_directional() {
+        let mut a = ProgramBuilder::new();
+        a.store(Addr::new(0), 1);
+        let mut b = ProgramBuilder::new();
+        b.load(Addr::new(0));
+        let hb = build(&analyze_cores(vec![a.build(), b.build()]));
+        assert_eq!(hb.may_edges.len(), 1);
+        assert_eq!(hb.may_edges[0].from, tag(0, 0));
+        assert_eq!(hb.may_edges[0].to, tag(1, 0));
+        assert!(hb.hb.is_acyclic());
+        assert_eq!(
+            hb.predicted_split_bound, 1,
+            "only the reader touches a foreign-written line"
+        );
+    }
+
+    #[test]
+    fn hot_line_epoch_pairs_are_capped() {
+        let mut a = ProgramBuilder::new();
+        let mut b = ProgramBuilder::new();
+        for i in 0..100u32 {
+            a.store(Addr::new(0), i).barrier();
+            b.store(Addr::new(0), i).barrier();
+        }
+        let hb = build(&analyze_cores(vec![a.build(), b.build()]));
+        let cap = MAX_EPOCHS_PER_LINE_CORE;
+        assert!(hb.may_edges.len() <= 2 * cap * cap);
+        assert_eq!(hb.predicted_split_bound, 200, "the bound stays exact");
+    }
+}

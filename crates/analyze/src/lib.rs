@@ -1,0 +1,482 @@
+//! `pbm-analyze` — static persist-order analysis over the shared
+//! [`pbm_sim::Program`] IR, without simulating.
+//!
+//! The analyzer partitions each core's straight-line program into the
+//! static epochs the hardware would form (programmer barriers under
+//! BEP/EP, `bsp_epoch_size`-store hardware cuts under BSP bulk mode),
+//! builds a must/may happens-before graph over them (program order plus
+//! cross-core conflicts on persistent lines, with lock regions tracked),
+//! and emits ranked diagnostics with op-index spans:
+//!
+//! | kind | severity (BEP / BSP) | meaning |
+//! |------|----------------------|---------|
+//! | `persistency-race` | error / info | cross-core stores to one line, no common lock |
+//! | `unordered-publication` | error / – | flag published in the same epoch as its data |
+//! | `epoch-deadlock-cycle` | warning | static HB cycle over ≥ 2 lines (§3.3 splits) |
+//! | `tail-writes` | warning / – | persistent stores after the last barrier |
+//! | `redundant-barrier` | warning | barrier closing a store-free epoch |
+//! | `unlock-without-barrier` | warning | critical section publishes unpersisted data |
+//! | `lock-imbalance` | warning | unlock-not-held / never-released lock |
+//!
+//! Findings can be silenced per-op with [`Suppression`]s
+//! (`kind=…,core=…,op=…,line=…`). The `analyze` binary in `pbm-bench`
+//! lints every built-in workload and gates CI on unsuppressed errors.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod diag;
+pub mod epoch;
+pub mod graph;
+pub mod report;
+
+pub use diag::{DiagKind, Diagnostic, OpRef, Severity, Suppression};
+pub use report::{AnalyzeStats, Report, REPORT_SCHEMA};
+
+use epoch::CoreAnalysis;
+use graph::StaticHb;
+use pbm_sim::Program;
+use pbm_types::PersistencyKind;
+use std::collections::BTreeSet;
+
+/// What the analyzer assumes about the hardware and what it silences.
+#[derive(Debug, Clone)]
+pub struct AnalyzeConfig {
+    /// Persistency model the workload targets. BEP/EP trust the
+    /// programmer's barriers (strictest diagnostics); BSP bulk mode cuts
+    /// epochs in hardware, demoting barrier-placement findings.
+    pub persistency: PersistencyKind,
+    /// Hardware epoch size for BSP bulk mode (persistent stores per
+    /// epoch).
+    pub bsp_epoch_size: u64,
+    /// Addresses at or above this are volatile: never tagged, never
+    /// persisted, invisible to the analysis (locks live there).
+    pub volatile_base: u64,
+    /// Findings to silence.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl AnalyzeConfig {
+    /// Buffered epoch persistency with programmer barriers — the
+    /// micro-benchmark configuration and the default lint mode.
+    pub fn bep() -> Self {
+        AnalyzeConfig {
+            persistency: PersistencyKind::BufferedEpoch,
+            bsp_epoch_size: 7,
+            volatile_base: pbm_sim::VOLATILE_BASE,
+            suppressions: Vec::new(),
+        }
+    }
+
+    /// BSP bulk mode with hardware epochs of `bsp_epoch_size` stores —
+    /// the application-proxy configuration.
+    pub fn bsp(bsp_epoch_size: u64) -> Self {
+        AnalyzeConfig {
+            persistency: PersistencyKind::BufferedStrictBulk,
+            bsp_epoch_size,
+            ..AnalyzeConfig::bep()
+        }
+    }
+
+    /// True when the hardware cuts epochs itself (barrier placement is
+    /// not the programmer's correctness tool).
+    pub fn hardware_epochs(&self) -> bool {
+        matches!(
+            self.persistency,
+            PersistencyKind::BufferedStrictBulk | PersistencyKind::Strict
+        )
+    }
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig::bep()
+    }
+}
+
+/// Analyzes `programs` (one per core) under `cfg` and returns the ranked
+/// report. Purely static — nothing is simulated.
+pub fn analyze(programs: &[Program], cfg: &AnalyzeConfig) -> Report {
+    let cores: Vec<CoreAnalysis> = programs
+        .iter()
+        .enumerate()
+        .map(|(c, p)| epoch::partition(c, p, cfg))
+        .collect();
+    let hb = graph::build(&cores);
+    let mut report = Report {
+        diagnostics: Vec::new(),
+        stats: AnalyzeStats {
+            cores: programs.len(),
+            ops: programs.iter().map(Program::len).sum(),
+            epochs: cores.iter().map(|c| c.epochs.len()).sum(),
+            may_edges: hb.may_edges.len(),
+            conflict_lines: hb
+                .lines
+                .iter()
+                .filter(|(_, lc)| {
+                    let cores_involved: BTreeSet<usize> = lc
+                        .store_locksets
+                        .keys()
+                        .chain(lc.load_locksets.keys())
+                        .copied()
+                        .collect();
+                    !lc.writer_cores.is_empty() && cores_involved.len() > 1
+                })
+                .count(),
+            predicted_split_bound: hb.predicted_split_bound,
+        },
+    };
+    races(&hb, cfg, &mut report);
+    cycles(&hb, &mut report);
+    barrier_findings(&cores, cfg, &mut report);
+    publications(&cores, &hb, cfg, &mut report);
+    lock_findings(&cores, &mut report);
+    for d in &mut report.diagnostics {
+        d.suppressed = cfg.suppressions.iter().any(|s| s.matches(d));
+    }
+    report.rank();
+    report
+}
+
+/// `persistency-race`: two cores store one persistent line with no common
+/// lock. Under BEP the relative persist order of their epochs is then
+/// whatever the race resolves to — recovery can observe either. Under BSP
+/// bulk mode the machine-wide epoch ordering covers it (info only).
+fn races(hb: &StaticHb, cfg: &AnalyzeConfig, report: &mut Report) {
+    let severity = if cfg.hardware_epochs() {
+        Severity::Info
+    } else {
+        Severity::Error
+    };
+    for (&line, lc) in &hb.lines {
+        let cores: Vec<usize> = lc.store_locksets.keys().copied().collect();
+        let mut found: Option<(diag::OpRef, diag::OpRef)> = None;
+        'outer: for (i, &a) in cores.iter().enumerate() {
+            for &b in &cores[i + 1..] {
+                for (sa, ra) in &lc.store_locksets[&a] {
+                    for (sb, rb) in &lc.store_locksets[&b] {
+                        if sa.intersection(sb).next().is_none() {
+                            found = Some((*ra, *rb));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((ra, rb)) = found {
+            report.diagnostics.push(Diagnostic {
+                kind: DiagKind::PersistencyRace,
+                severity,
+                message: format!(
+                    "cores {} and {} both store line {line:#x} with no common lock; \
+                     the epochs' persist order depends on the race",
+                    ra.core, rb.core
+                ),
+                spans: vec![ra, rb],
+                lines: vec![line],
+                suppressed: false,
+            });
+        }
+    }
+}
+
+/// `epoch-deadlock-cycle`: a static happens-before cycle over at least two
+/// conflict lines — at runtime the flush protocol breaks it with §3.3
+/// epoch splits, so the finding is a warning plus the predicted bound.
+fn cycles(hb: &StaticHb, report: &mut Report) {
+    for c in hb.cycles() {
+        let walk = c
+            .witness
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        report.diagnostics.push(Diagnostic {
+            kind: DiagKind::EpochDeadlockCycle,
+            severity: Severity::Warning,
+            message: format!(
+                "potential dependence cycle {walk} over {} lines; the hardware \
+                 resolves such cycles with epoch splits (predicted <= {} splits \
+                 across the run)",
+                c.lines.len(),
+                hb.predicted_split_bound
+            ),
+            spans: c.spans,
+            lines: c.lines,
+            suppressed: false,
+        });
+    }
+}
+
+/// `redundant-barrier` and `tail-writes` (the latter only where the
+/// programmer owns epoch boundaries).
+fn barrier_findings(cores: &[CoreAnalysis], cfg: &AnalyzeConfig, report: &mut Report) {
+    for ca in cores {
+        for e in &ca.epochs {
+            if let Some(b) = e.closed_by {
+                if e.persistent_stores == 0 {
+                    report.diagnostics.push(Diagnostic {
+                        kind: DiagKind::RedundantBarrier,
+                        severity: Severity::Warning,
+                        message: format!(
+                            "barrier closes epoch E{} of core {} which has no \
+                             persistent stores; it orders nothing",
+                            e.index, ca.core
+                        ),
+                        spans: vec![OpRef {
+                            core: ca.core,
+                            op: b,
+                        }],
+                        lines: Vec::new(),
+                        suppressed: false,
+                    });
+                }
+            }
+        }
+        if cfg.hardware_epochs() {
+            continue;
+        }
+        if let Some(tail) = ca.epochs.last().filter(|e| e.closed_by.is_none()) {
+            if tail.persistent_stores > 0 {
+                let first_store = ca
+                    .accesses
+                    .iter()
+                    .find(|a| a.epoch == tail.index && a.is_store)
+                    .map(|a| a.at)
+                    .expect("tail epoch counted a store");
+                report.diagnostics.push(Diagnostic {
+                    kind: DiagKind::TailWrites,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "{} persistent store(s) after the last barrier of core {}; \
+                         they sit in a never-closed epoch and may not persist \
+                         before a crash",
+                        tail.persistent_stores, ca.core
+                    ),
+                    spans: vec![first_store],
+                    lines: Vec::new(),
+                    suppressed: false,
+                });
+            }
+        }
+    }
+}
+
+/// `unordered-publication`: the Figure-10 commit-protocol bug, statically.
+///
+/// A store `F` *publishes* earlier stores of its own epoch if another core
+/// loads `F`'s line and *later* loads a line the publisher stored earlier
+/// in the same epoch — the reader's program relies on "if I see F, the
+/// data is there", which only holds if a barrier separates them. Fires
+/// when the flag conflict is not lock-ordered; skipped entirely under
+/// hardware epochs.
+fn publications(cores: &[CoreAnalysis], hb: &StaticHb, cfg: &AnalyzeConfig, report: &mut Report) {
+    if cfg.hardware_epochs() {
+        return;
+    }
+    // Cap on earlier-in-epoch lines tracked per publication candidate.
+    const MAX_PUBLISHED_LINES: usize = 32;
+    let mut diagnosed: BTreeSet<(usize, u64)> = BTreeSet::new();
+    for ca in cores {
+        for (fi, f) in ca.accesses.iter().enumerate() {
+            if !f.is_store || diagnosed.contains(&(ca.core, f.line)) {
+                continue;
+            }
+            // Lines this core stored earlier in F's epoch.
+            let earlier = || {
+                ca.accesses[..fi]
+                    .iter()
+                    .filter(|a| a.is_store && a.epoch == f.epoch && a.line != f.line)
+            };
+            let published: BTreeSet<u64> = earlier()
+                .map(|a| a.line)
+                .take(MAX_PUBLISHED_LINES)
+                .collect();
+            if published.is_empty() {
+                continue;
+            }
+            // A lock-disciplined publisher is exempt: when the flag and all
+            // the data it publishes are written under a common lock,
+            // readers that want the flag->data ordering must take that
+            // lock — an unlocked reader is racing by choice, not missing a
+            // barrier (the rbtree micro's unlocked searches, for example).
+            let disciplined = !f.locks.is_empty()
+                && earlier().all(|a| a.locks.intersection(&f.locks).next().is_some());
+            if disciplined {
+                continue;
+            }
+            let Some(lc) = hb.lines.get(&f.line) else {
+                continue;
+            };
+            for reader in cores.iter().filter(|r| r.core != ca.core) {
+                // The reader's first un-lock-ordered load of F's line.
+                let flag_load = lc.load_locksets.get(&reader.core).and_then(|sets| {
+                    sets.iter()
+                        .filter(|(locks, _)| locks.intersection(&f.locks).next().is_none())
+                        .map(|&(_, at)| at)
+                        .min_by_key(|at| at.op)
+                });
+                let Some(flag_load) = flag_load else { continue };
+                // A later load of a published line completes the pattern.
+                let dependent = reader
+                    .accesses
+                    .iter()
+                    .find(|a| !a.is_store && a.at.op > flag_load.op && published.contains(&a.line));
+                if let Some(dep) = dependent {
+                    diagnosed.insert((ca.core, f.line));
+                    report.diagnostics.push(Diagnostic {
+                        kind: DiagKind::UnorderedPublication,
+                        severity: Severity::Error,
+                        message: format!(
+                            "core {} stores line {:#x} in the same epoch as {} earlier \
+                             data line(s), and core {} reads the flag then the data \
+                             (line {:#x}); a barrier must separate data from flag",
+                            ca.core,
+                            f.line,
+                            published.len(),
+                            reader.core,
+                            dep.line
+                        ),
+                        spans: vec![f.at, flag_load, dep.at],
+                        lines: vec![f.line, dep.line],
+                        suppressed: false,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// `unlock-without-barrier` and `lock-imbalance`.
+fn lock_findings(cores: &[CoreAnalysis], report: &mut Report) {
+    let push = |kind, at: OpRef, message: String, report: &mut Report| {
+        report.diagnostics.push(Diagnostic {
+            kind,
+            severity: Severity::Warning,
+            message,
+            spans: vec![at],
+            lines: Vec::new(),
+            suppressed: false,
+        });
+    };
+    for ca in cores {
+        for &at in &ca.unlock_without_barrier {
+            push(
+                DiagKind::UnlockWithoutBarrier,
+                at,
+                format!(
+                    "core {} releases a lock after persistent stores with no \
+                     barrier in between; the next owner can observe and \
+                     republish unpersisted state",
+                    at.core
+                ),
+                report,
+            );
+        }
+        for &at in &ca.unbalanced_unlocks {
+            push(
+                DiagKind::LockImbalance,
+                at,
+                format!("core {} unlocks a lock it does not hold", at.core),
+                report,
+            );
+        }
+        for &at in &ca.held_at_end {
+            push(
+                DiagKind::LockImbalance,
+                at,
+                format!(
+                    "core {} still holds the lock acquired here when its \
+                     program ends",
+                    at.core
+                ),
+                report,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbm_sim::ProgramBuilder;
+    use pbm_types::Addr;
+
+    fn progs(build: impl FnOnce(&mut ProgramBuilder, &mut ProgramBuilder)) -> Vec<Program> {
+        let mut a = ProgramBuilder::new();
+        let mut b = ProgramBuilder::new();
+        build(&mut a, &mut b);
+        vec![a.build(), b.build()]
+    }
+
+    #[test]
+    fn unlocked_ww_is_an_error_under_bep_and_info_under_bsp() {
+        let programs = progs(|a, b| {
+            a.store(Addr::new(0), 1).barrier();
+            b.store(Addr::new(0), 2).barrier();
+        });
+        let r = analyze(&programs, &AnalyzeConfig::bep());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.of_kind(DiagKind::PersistencyRace).len(), 1);
+        let r = analyze(&programs, &AnalyzeConfig::bsp(7));
+        assert_eq!(r.error_count(), 0);
+        let races = r.of_kind(DiagKind::PersistencyRace);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn common_lock_silences_the_race() {
+        let l = Addr::new(pbm_sim::VOLATILE_BASE);
+        let programs = progs(|a, b| {
+            a.lock(l).store(Addr::new(0), 1).barrier().unlock(l);
+            b.lock(l).store(Addr::new(0), 2).barrier().unlock(l);
+        });
+        let r = analyze(&programs, &AnalyzeConfig::bep());
+        assert_eq!(r.error_count(), 0, "{:?}", r.diagnostics);
+        assert!(r.of_kind(DiagKind::PersistencyRace).is_empty());
+    }
+
+    #[test]
+    fn redundant_barrier_and_tail_writes_warn() {
+        let programs = progs(|a, b| {
+            a.barrier().store(Addr::new(0), 1);
+            b.compute(5).barrier();
+        });
+        let r = analyze(&programs, &AnalyzeConfig::bep());
+        assert_eq!(r.of_kind(DiagKind::RedundantBarrier).len(), 2);
+        assert_eq!(r.of_kind(DiagKind::TailWrites).len(), 1);
+        // BSP: the hardware cuts epochs, tail writes are fine.
+        let r = analyze(&programs, &AnalyzeConfig::bsp(7));
+        assert!(r.of_kind(DiagKind::TailWrites).is_empty());
+    }
+
+    #[test]
+    fn suppressions_mark_but_keep_findings() {
+        let programs = progs(|a, b| {
+            a.store(Addr::new(0), 1).barrier();
+            b.store(Addr::new(0), 2).barrier();
+        });
+        let mut cfg = AnalyzeConfig::bep();
+        cfg.suppressions = vec![Suppression::parse("kind=persistency-race,line=0").unwrap()];
+        let r = analyze(&programs, &cfg);
+        assert_eq!(r.error_count(), 0);
+        assert_eq!(r.diagnostics.len(), 1, "kept, just marked");
+        assert!(r.diagnostics[0].suppressed);
+    }
+
+    #[test]
+    fn stats_summarize_the_workload() {
+        let programs = progs(|a, b| {
+            a.store(Addr::new(0), 1).barrier().store(Addr::new(64), 2);
+            b.load(Addr::new(0));
+        });
+        let r = analyze(&programs, &AnalyzeConfig::bep());
+        assert_eq!(r.stats.cores, 2);
+        assert_eq!(r.stats.ops, 4);
+        assert_eq!(r.stats.epochs, 3);
+        assert_eq!(r.stats.conflict_lines, 1);
+        assert!(r.stats.predicted_split_bound >= 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Rendering: ranked human-readable text and the JSON report document.
+//!
+//! Op references use the canonical encoding from
+//! [`pbm_sim::Op::to_json_value`]'s address space (core + op index), so a
+//! report span and a corpus artifact point at the same op the same way.
+
+use crate::diag::{DiagKind, Diagnostic, OpRef, Severity};
+use pbm_obs::json::JsonValue;
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every JSON report.
+pub const REPORT_SCHEMA: &str = "pbm-analyze-report/v1";
+
+/// Summary numbers of one analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalyzeStats {
+    /// Cores analyzed (programs in the workload).
+    pub cores: usize,
+    /// Total operations.
+    pub ops: usize,
+    /// Static epochs across all cores.
+    pub epochs: usize,
+    /// Materialized cross-core may edges.
+    pub may_edges: usize,
+    /// Persistent lines with at least one cross-core conflict.
+    pub conflict_lines: usize,
+    /// Upper bound on §3.3 deadlock-avoidance splits (see
+    /// [`crate::graph::StaticHb::predicted_split_bound`]).
+    pub predicted_split_bound: u64,
+}
+
+/// A completed analysis: ranked diagnostics plus summary stats.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Diagnostics, most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Summary numbers.
+    pub stats: AnalyzeStats,
+}
+
+impl Report {
+    /// Sorts diagnostics most-severe-first (then by kind and first span,
+    /// for deterministic output).
+    pub(crate) fn rank(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.kind.cmp(&b.kind))
+                .then_with(|| a.spans.first().cmp(&b.spans.first()))
+                .then_with(|| a.lines.cmp(&b.lines))
+        });
+    }
+
+    /// The diagnostics a suppression did not silence.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.suppressed)
+    }
+
+    /// Unsuppressed diagnostics at `severity` exactly.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.unsuppressed()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Number of unsuppressed errors — the CI gate.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Unsuppressed diagnostics of `kind`.
+    pub fn of_kind(&self, kind: DiagKind) -> Vec<&Diagnostic> {
+        self.unsuppressed().filter(|d| d.kind == kind).collect()
+    }
+
+    /// Renders the ranked human report for workload `name`.
+    pub fn render_human(&self, name: &str) -> String {
+        let mut out = String::new();
+        let suppressed = self.diagnostics.iter().filter(|d| d.suppressed).count();
+        let _ = writeln!(
+            out,
+            "# pbm-analyze: {name} — {} diagnostics ({} errors, {} warnings, {} info, {} suppressed)",
+            self.diagnostics.len(),
+            self.error_count(),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+            suppressed,
+        );
+        for d in &self.diagnostics {
+            let mark = if d.suppressed { " [suppressed]" } else { "" };
+            let spans = d
+                .spans
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            let lines = d
+                .lines
+                .iter()
+                .map(|l| format!("{l:#x}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(out, "{}: {}: {}{mark}", d.severity, d.kind, d.message);
+            if !spans.is_empty() {
+                let _ = write!(out, " [at {spans}]");
+            }
+            if !lines.is_empty() {
+                let _ = write!(out, " (lines {lines})");
+            }
+            out.push('\n');
+        }
+        let s = self.stats;
+        let _ = writeln!(
+            out,
+            "# {} cores, {} ops, {} epochs, {} may-edges over {} conflict lines, predicted splits <= {}",
+            s.cores, s.ops, s.epochs, s.may_edges, s.conflict_lines, s.predicted_split_bound,
+        );
+        out
+    }
+
+    /// The JSON report document for workload `name`.
+    pub fn to_json_value(&self, name: &str) -> JsonValue {
+        let diag = |d: &Diagnostic| {
+            JsonValue::Object(vec![
+                ("kind".into(), JsonValue::Str(d.kind.name().into())),
+                ("severity".into(), JsonValue::Str(d.severity.name().into())),
+                ("suppressed".into(), JsonValue::Bool(d.suppressed)),
+                ("message".into(), JsonValue::Str(d.message.clone())),
+                (
+                    "spans".into(),
+                    JsonValue::Array(
+                        d.spans
+                            .iter()
+                            .map(|s: &OpRef| {
+                                JsonValue::Object(vec![
+                                    ("core".into(), JsonValue::Num(s.core as u64)),
+                                    ("op".into(), JsonValue::Num(s.op as u64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "lines".into(),
+                    JsonValue::Array(d.lines.iter().map(|&l| JsonValue::Num(l)).collect()),
+                ),
+            ])
+        };
+        let s = self.stats;
+        JsonValue::Object(vec![
+            ("schema".into(), JsonValue::Str(REPORT_SCHEMA.into())),
+            ("workload".into(), JsonValue::Str(name.into())),
+            (
+                "stats".into(),
+                JsonValue::Object(vec![
+                    ("cores".into(), JsonValue::Num(s.cores as u64)),
+                    ("ops".into(), JsonValue::Num(s.ops as u64)),
+                    ("epochs".into(), JsonValue::Num(s.epochs as u64)),
+                    ("may_edges".into(), JsonValue::Num(s.may_edges as u64)),
+                    (
+                        "conflict_lines".into(),
+                        JsonValue::Num(s.conflict_lines as u64),
+                    ),
+                    (
+                        "predicted_split_bound".into(),
+                        JsonValue::Num(s.predicted_split_bound),
+                    ),
+                ]),
+            ),
+            ("errors".into(), JsonValue::Num(self.error_count() as u64)),
+            (
+                "diagnostics".into(),
+                JsonValue::Array(self.diagnostics.iter().map(diag).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mk = |kind, severity, suppressed, core| Diagnostic {
+            kind,
+            severity,
+            message: format!("{kind} on core {core}"),
+            spans: vec![OpRef { core, op: 3 }],
+            lines: vec![64],
+            suppressed,
+        };
+        let mut r = Report {
+            diagnostics: vec![
+                mk(DiagKind::TailWrites, Severity::Warning, false, 1),
+                mk(DiagKind::PersistencyRace, Severity::Error, false, 0),
+                mk(DiagKind::PersistencyRace, Severity::Error, true, 2),
+            ],
+            stats: AnalyzeStats {
+                cores: 3,
+                ops: 30,
+                epochs: 6,
+                may_edges: 2,
+                conflict_lines: 1,
+                predicted_split_bound: 4,
+            },
+        };
+        r.rank();
+        r
+    }
+
+    #[test]
+    fn ranking_puts_errors_first_and_counts_skip_suppressed() {
+        let r = sample();
+        assert_eq!(r.diagnostics[0].severity, Severity::Error);
+        assert_eq!(r.error_count(), 1, "suppressed error does not count");
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.of_kind(DiagKind::PersistencyRace).len(), 1);
+    }
+
+    #[test]
+    fn human_report_mentions_everything() {
+        let text = sample().render_human("demo");
+        assert!(text.contains("pbm-analyze: demo"));
+        assert!(text.contains("1 errors, 1 warnings, 0 info, 1 suppressed"));
+        assert!(text.contains("[suppressed]"));
+        assert!(text.contains("c1:op3"));
+        assert!(text.contains("predicted splits <= 4"));
+    }
+
+    #[test]
+    fn json_report_round_trips_through_the_parser() {
+        let doc = sample().to_json_value("demo").to_json();
+        let back = pbm_obs::json::parse(&doc).expect("parses");
+        assert_eq!(
+            back.get("schema").and_then(JsonValue::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        assert_eq!(back.get("errors").and_then(JsonValue::as_u64), Some(1));
+        let diags = back
+            .get("diagnostics")
+            .and_then(JsonValue::as_array)
+            .expect("array");
+        assert_eq!(diags.len(), 3);
+        assert_eq!(
+            diags[0].get("kind").and_then(JsonValue::as_str),
+            Some("persistency-race")
+        );
+    }
+}

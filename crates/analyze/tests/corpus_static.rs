@@ -1,0 +1,61 @@
+//! Static soundness over the crash-consistency corpus: every shrunk
+//! reproducer the fuzzer ever minted must also be flagged *statically*.
+//!
+//! The corpus cases are program shapes that exposed injected protocol or
+//! workload bugs dynamically; a static analyzer that misses all of them
+//! would be decorative. Artifacts are analyzed under BEP rules regardless
+//! of the persistency they were recorded under — the corpus programs are
+//! barrier-annotated shapes and BEP is the strictest lens.
+
+use pbm_analyze::{analyze, AnalyzeConfig, DiagKind, Severity};
+use pbm_check::artifact::decode_case;
+use std::path::Path;
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus"))
+}
+
+#[test]
+fn every_corpus_case_is_statically_flagged() {
+    let mut checked = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable artifact");
+        let case = decode_case(&text).expect("artifact parses");
+        let report = analyze(&case.spec.programs, &AnalyzeConfig::bep());
+        assert!(
+            report
+                .unsuppressed()
+                .any(|d| d.severity >= Severity::Warning),
+            "{}: statically silent\n{}",
+            path.display(),
+            report.render_human(&path.display().to_string())
+        );
+        checked += 1;
+    }
+    assert!(checked >= 5, "only {checked} corpus artifacts found");
+}
+
+#[test]
+fn expected_kinds_fire_per_artifact() {
+    let expect = [
+        ("bug-drop-idt-edge.json", DiagKind::PersistencyRace),
+        ("bug-premature-bank-ack.json", DiagKind::TailWrites),
+        ("bug-skip-deadlock-split.json", DiagKind::PersistencyRace),
+        ("bug-skip-undo-log.json", DiagKind::TailWrites),
+        ("bug-dropped-barrier.json", DiagKind::UnorderedPublication),
+    ];
+    for (name, kind) in expect {
+        let text = std::fs::read_to_string(corpus_dir().join(name)).expect("artifact exists");
+        let case = decode_case(&text).expect("artifact parses");
+        let report = analyze(&case.spec.programs, &AnalyzeConfig::bep());
+        assert!(
+            !report.of_kind(kind).is_empty(),
+            "{name}: expected {kind}\n{}",
+            report.render_human(name)
+        );
+    }
+}

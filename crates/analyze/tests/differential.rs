@@ -1,0 +1,139 @@
+//! Static-vs-dynamic cross-validation against the simulator.
+//!
+//! Three properties tie the analyzer's verdicts to what the hardware model
+//! actually does:
+//!
+//! 1. **Soundness of "clean"**: a workload the analyzer reports error-free
+//!    never produces a dynamic consistency violation, across ≥ 8 schedule
+//!    perturbations of the exhaustive crash sweep.
+//! 2. **Sensitivity**: the misbarrier negative corpus (barriers dropped
+//!    from healthy programs) is always flagged.
+//! 3. **Split prediction**: the simulator's §3.3 deadlock-split counter
+//!    never exceeds the static `predicted_split_bound` (modulo
+//!    eviction-triggered splits, which the bound deliberately excludes).
+
+use pbm_analyze::{analyze, AnalyzeConfig, DiagKind};
+use pbm_check::{run_case, CaseSpec};
+use pbm_types::{BarrierKind, PersistencyKind};
+use pbm_workloads::random::{
+    apply_misbarrier, programs, random_programs, Misbarrier, RandomProgramParams,
+};
+use proptest::prelude::*;
+
+fn case(programs: Vec<pbm_sim::Program>, seed: u64, perturb: Option<u64>) -> CaseSpec {
+    CaseSpec {
+        programs,
+        barrier: BarrierKind::LbPp,
+        persistency: PersistencyKind::BufferedEpoch,
+        perturb_seed: perturb,
+        bsp_epoch_size: 7,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property 1 + 3: statically error-free => dynamically consistent
+    /// across perturbed schedules, and the split bound holds.
+    #[test]
+    fn static_clean_implies_dynamic_clean(
+        input in programs(4, RandomProgramParams::disjoint(30, 4)),
+    ) {
+        let (seed, progs) = input;
+        let report = analyze(&progs, &AnalyzeConfig::bep());
+        if report.error_count() != 0 {
+            continue; // the property conditions on a clean static verdict
+        }
+        for perturb in [None, Some(1), Some(2), Some(3), Some(4), Some(5), Some(6), Some(7)] {
+            let spec = case(progs.clone(), seed, perturb.map(|p| seed.wrapping_add(p)));
+            let ok = run_case(&spec)
+                .unwrap_or_else(|f| panic!("seed {seed} perturb {perturb:?}: {f}"));
+            if ok.stats.epochs_eviction_flushed == 0 {
+                prop_assert!(
+                    ok.stats.deadlock_splits <= report.stats.predicted_split_bound,
+                    "seed {seed}: {} splits > predicted bound {}",
+                    ok.stats.deadlock_splits,
+                    report.stats.predicted_split_bound,
+                );
+            }
+        }
+    }
+
+    /// Property 2: dropping every barrier from a healthy program set is
+    /// always caught (tail writes at minimum — the final epoch is never
+    /// closed).
+    #[test]
+    fn misbarriered_programs_are_flagged(
+        input in programs(4, RandomProgramParams::mixed(40, 8))
+            .misbarrier(Misbarrier::DROP_ALL),
+    ) {
+        let (_seed, progs) = input;
+        if progs.iter().all(|p| p.store_count() == 0) {
+            continue; // nothing persistent to mis-order
+        }
+        let report = analyze(&progs, &AnalyzeConfig::bep());
+        prop_assert!(
+            !report.of_kind(DiagKind::TailWrites).is_empty(),
+            "dropped barriers left no tail-writes finding"
+        );
+    }
+}
+
+/// Property 3 on a conflict-heavy deterministic shape: shared-store mixed
+/// programs actually exercise inter-thread dependences and (sometimes)
+/// splits, so the bound comparison is not vacuous.
+#[test]
+fn split_bound_holds_on_shared_store_programs() {
+    for seed in 0..10u64 {
+        let progs = random_programs(seed, 4, &RandomProgramParams::mixed(40, 6));
+        let report = analyze(&progs, &AnalyzeConfig::bep());
+        let ok = run_case(&case(progs, seed, None)).expect("real design is consistent");
+        if ok.stats.epochs_eviction_flushed == 0 {
+            assert!(
+                ok.stats.deadlock_splits <= report.stats.predicted_split_bound,
+                "seed {seed}: {} splits > bound {}",
+                ok.stats.deadlock_splits,
+                report.stats.predicted_split_bound,
+            );
+        }
+    }
+}
+
+/// The deterministic guarantee behind property 1: the healthy commit
+/// protocol and the dropped-barrier variant sit on opposite sides of the
+/// static verdict, and the healthy one is dynamically clean under every
+/// perturbation tried.
+#[test]
+fn commit_protocol_is_the_boundary_case() {
+    use pbm_workloads::commit;
+    let healthy = commit::publisher_consumer(2, false);
+    let report = analyze(&healthy.programs, &AnalyzeConfig::bep());
+    assert_eq!(report.error_count(), 0);
+    for perturb in 0..8u64 {
+        let spec = case(healthy.programs.clone(), 0, Some(perturb * 31 + 1));
+        run_case(&spec).expect("healthy commit protocol is consistent");
+    }
+    let broken = commit::publisher_consumer(2, true);
+    let report = analyze(&broken.programs, &AnalyzeConfig::bep());
+    assert!(report.error_count() > 0, "dropped barrier must be flagged");
+}
+
+/// The misbarrier knob's MOVE mode re-cuts epochs around the stores the
+/// barrier was meant to order; the analyzer notices through tail writes or
+/// publication findings often enough to be useful, and never crashes.
+#[test]
+fn moved_barriers_analyze_without_panicking() {
+    for seed in 0..20u64 {
+        let healthy = random_programs(seed, 4, &RandomProgramParams::mixed(40, 8));
+        let damaged = apply_misbarrier(
+            &healthy,
+            seed,
+            Misbarrier {
+                drop_pct: 0,
+                move_pct: 100,
+            },
+        );
+        let _ = analyze(&damaged, &AnalyzeConfig::bep());
+    }
+}

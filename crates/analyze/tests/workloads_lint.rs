@@ -1,0 +1,67 @@
+//! Lint every built-in workload: the micro-benchmarks under BEP rules,
+//! the application proxies under BSP rules, and the commit protocol in
+//! both its healthy and deliberately broken forms.
+//!
+//! The CI `analyze` binary runs the same checks at paper scale; this test
+//! keeps them honest at test scale.
+
+use pbm_analyze::{analyze, AnalyzeConfig, DiagKind};
+use pbm_workloads::apps::{self, AppParams};
+use pbm_workloads::commit;
+use pbm_workloads::micro::{self, MicroParams};
+
+#[test]
+fn micros_have_no_unsuppressed_errors_under_bep() {
+    let params = MicroParams {
+        threads: 4,
+        ops_per_thread: 6,
+        ..MicroParams::tiny()
+    };
+    for wl in micro::all(&params) {
+        let report = analyze(&wl.programs, &AnalyzeConfig::bep());
+        assert_eq!(
+            report.error_count(),
+            0,
+            "{}: {}",
+            wl.name,
+            report.render_human(wl.name)
+        );
+    }
+}
+
+#[test]
+fn apps_have_no_unsuppressed_errors_under_bsp() {
+    for wl in apps::all(&AppParams::tiny()) {
+        let report = analyze(&wl.programs, &AnalyzeConfig::bsp(7));
+        assert_eq!(
+            report.error_count(),
+            0,
+            "{}: {}",
+            wl.name,
+            report.render_human(wl.name)
+        );
+    }
+}
+
+#[test]
+fn healthy_commit_protocol_is_clean() {
+    let wl = commit::publisher_consumer(3, false);
+    let report = analyze(&wl.programs, &AnalyzeConfig::bep());
+    assert_eq!(report.error_count(), 0, "{}", report.render_human("commit"));
+    assert!(report.of_kind(DiagKind::UnorderedPublication).is_empty());
+}
+
+#[test]
+fn dropped_barrier_commit_protocol_is_flagged() {
+    let wl = commit::publisher_consumer(3, true);
+    let report = analyze(&wl.programs, &AnalyzeConfig::bep());
+    let pubs = report.of_kind(DiagKind::UnorderedPublication);
+    assert!(
+        !pubs.is_empty(),
+        "dropped barrier not flagged: {}",
+        report.render_human("commit-broken")
+    );
+    assert!(report.error_count() >= 1);
+    // The finding anchors on the publisher's flag store (line 0).
+    assert!(pubs.iter().any(|d| d.lines.contains(&commit::FLAG_LINE)));
+}

@@ -1,0 +1,135 @@
+//! `analyze` — the static persist-order linter over the built-in
+//! workloads.
+//!
+//! Lints every micro-benchmark under BEP rules and every application proxy
+//! under BSP rules (plus the Figure-10 commit protocol), printing the
+//! ranked human report per workload and exiting nonzero if any
+//! unsuppressed error remains — the CI gate.
+//!
+//! ```text
+//! analyze [--workloads=name,...] [--suppress=SPEC]... [--json[=PATH]]
+//!         [--micro-threads=N] [--micro-ops=N] [--app-ops=N]
+//! ```
+//!
+//! `--suppress` takes the `kind=…,core=…,op=…,line=…` syntax of
+//! `pbm_analyze::Suppression` and may be repeated; suppressed findings are
+//! still printed, marked, and excluded from the gate. `--json` emits one
+//! `pbm-analyze-report/v1` document per workload (to stdout, or to
+//! `PATH/<workload>.json`).
+
+use pbm_analyze::{analyze, AnalyzeConfig, Suppression};
+use pbm_workloads::apps::{self, AppParams};
+use pbm_workloads::commit;
+use pbm_workloads::micro::{self, MicroParams};
+use pbm_workloads::Workload;
+use std::path::PathBuf;
+
+struct Args {
+    workloads: Option<Vec<String>>,
+    suppressions: Vec<Suppression>,
+    json: Option<Option<PathBuf>>,
+    micro_threads: usize,
+    micro_ops: usize,
+    app_ops: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workloads: None,
+        suppressions: Vec::new(),
+        json: None,
+        micro_threads: 4,
+        micro_ops: 16,
+        app_ops: 600,
+    };
+    for arg in std::env::args().skip(1) {
+        let bad = |what: &str| -> ! {
+            eprintln!("error: bad value in {what:?}");
+            std::process::exit(2);
+        };
+        if let Some(v) = arg.strip_prefix("--workloads=") {
+            args.workloads = Some(v.split(',').map(str::to_string).collect());
+        } else if let Some(v) = arg.strip_prefix("--suppress=") {
+            match Suppression::parse(v) {
+                Ok(s) => args.suppressions.push(s),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg == "--json" {
+            args.json = Some(None);
+        } else if let Some(v) = arg.strip_prefix("--json=") {
+            args.json = Some(Some(PathBuf::from(v)));
+        } else if let Some(v) = arg.strip_prefix("--micro-threads=") {
+            args.micro_threads = v.parse().unwrap_or_else(|_| bad(&arg));
+        } else if let Some(v) = arg.strip_prefix("--micro-ops=") {
+            args.micro_ops = v.parse().unwrap_or_else(|_| bad(&arg));
+        } else if let Some(v) = arg.strip_prefix("--app-ops=") {
+            args.app_ops = v.parse().unwrap_or_else(|_| bad(&arg));
+        } else {
+            eprintln!("error: unknown argument {arg:?}");
+            std::process::exit(2);
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    // (workload, the lint configuration it targets).
+    let micro_params = MicroParams {
+        threads: args.micro_threads,
+        ops_per_thread: args.micro_ops,
+        ..MicroParams::tiny()
+    };
+    let app_params = AppParams {
+        threads: args.micro_threads,
+        ops_per_thread: args.app_ops,
+        ..AppParams::tiny()
+    };
+    let mut targets: Vec<(Workload, AnalyzeConfig)> = Vec::new();
+    for wl in micro::all(&micro_params) {
+        targets.push((wl, AnalyzeConfig::bep()));
+    }
+    for wl in apps::all(&app_params) {
+        targets.push((wl, AnalyzeConfig::bsp(7)));
+    }
+    targets.push((commit::publisher_consumer(4, false), AnalyzeConfig::bep()));
+    if let Some(names) = &args.workloads {
+        targets.retain(|(wl, _)| names.iter().any(|n| n == wl.name));
+        if targets.is_empty() {
+            eprintln!("error: no workload matches {names:?}");
+            std::process::exit(2);
+        }
+    }
+    let mut errors = 0usize;
+    for (wl, mut cfg) in targets {
+        cfg.suppressions = args.suppressions.clone();
+        let report = analyze(&wl.programs, &cfg);
+        print!("{}", report.render_human(wl.name));
+        match &args.json {
+            None => {}
+            Some(None) => println!("{}", report.to_json_value(wl.name).to_json()),
+            Some(Some(dir)) => {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: cannot create {}: {e}", dir.display());
+                    std::process::exit(2);
+                }
+                let path = dir.join(format!("{}.json", wl.name));
+                let mut text = report.to_json_value(wl.name).to_json();
+                text.push('\n');
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        errors += report.error_count();
+    }
+    if errors > 0 {
+        eprintln!("error: {errors} unsuppressed error(s) across the lint targets");
+        std::process::exit(1);
+    }
+    println!("# analyze: clean");
+}

@@ -20,8 +20,8 @@
 
 use crate::case::{CaseSpec, FailureKind};
 use pbm_obs::json::{self, JsonValue};
-use pbm_sim::{Op, Program};
-use pbm_types::{Addr, BarrierKind, PersistencyKind};
+use pbm_sim::Program;
+use pbm_types::{BarrierKind, PersistencyKind};
 
 /// Schema tag stamped into every case artifact.
 pub const CASE_SCHEMA: &str = "pbm-check-case/v1";
@@ -62,72 +62,13 @@ pub fn persistency_from_label(label: &str) -> Option<PersistencyKind> {
     })
 }
 
-fn op_to_json(op: Op) -> JsonValue {
-    let f = |name: &str, rest: Vec<(String, JsonValue)>| {
-        let mut fields = vec![("op".to_string(), JsonValue::Str(name.to_string()))];
-        fields.extend(rest);
-        JsonValue::Object(fields)
-    };
-    match op {
-        Op::Load(a) => f("load", vec![("addr".into(), JsonValue::Num(a.as_u64()))]),
-        Op::Store(a, v) => f(
-            "store",
-            vec![
-                ("addr".into(), JsonValue::Num(a.as_u64())),
-                ("value".into(), JsonValue::Num(u64::from(v))),
-            ],
-        ),
-        Op::Barrier => f("barrier", vec![]),
-        Op::Compute(c) => f(
-            "compute",
-            vec![("cycles".into(), JsonValue::Num(u64::from(c)))],
-        ),
-        Op::Lock(a) => f("lock", vec![("addr".into(), JsonValue::Num(a.as_u64()))]),
-        Op::Unlock(a) => f("unlock", vec![("addr".into(), JsonValue::Num(a.as_u64()))]),
-        Op::TxEnd => f("txend", vec![]),
-    }
-}
-
-fn op_from_json(v: &JsonValue) -> Result<Op, String> {
-    let name = v
-        .get("op")
-        .and_then(JsonValue::as_str)
-        .ok_or("op object without \"op\" field")?;
-    let addr = || {
-        v.get("addr")
-            .and_then(JsonValue::as_u64)
-            .map(Addr::new)
-            .ok_or(format!("op {name:?} without \"addr\""))
-    };
-    Ok(match name {
-        "load" => Op::Load(addr()?),
-        "store" => Op::Store(
-            addr()?,
-            v.get("value")
-                .and_then(JsonValue::as_u64)
-                .ok_or("store without \"value\"")? as u32,
-        ),
-        "barrier" => Op::Barrier,
-        "compute" => Op::Compute(
-            v.get("cycles")
-                .and_then(JsonValue::as_u64)
-                .ok_or("compute without \"cycles\"")? as u32,
-        ),
-        "lock" => Op::Lock(addr()?),
-        "unlock" => Op::Unlock(addr()?),
-        "txend" => Op::TxEnd,
-        other => return Err(format!("unknown op {other:?}")),
-    })
-}
-
 /// Serializes a case (plus provenance) into the artifact document text.
+///
+/// Op encoding is the canonical one from [`pbm_sim::Op::to_json_value`],
+/// shared with the `pbm-analyze` report format so a diagnostic span and a
+/// corpus artifact reference identical op documents.
 pub fn encode_case(spec: &CaseSpec, bug: Option<&str>, failure: Option<&FailureKind>) -> String {
-    let programs = JsonValue::Array(
-        spec.programs
-            .iter()
-            .map(|p| JsonValue::Array(p.ops().iter().map(|&op| op_to_json(op)).collect()))
-            .collect(),
-    );
+    let programs = JsonValue::Array(spec.programs.iter().map(Program::to_json_value).collect());
     let opt_str = |s: Option<String>| s.map_or(JsonValue::Null, JsonValue::Str);
     let doc = JsonValue::Object(vec![
         ("schema".into(), JsonValue::Str(CASE_SCHEMA.into())),
@@ -172,13 +113,7 @@ pub fn decode_case(text: &str) -> Result<CaseArtifact, String> {
         .and_then(JsonValue::as_array)
         .ok_or("missing \"programs\"")?
         .iter()
-        .map(|p| {
-            p.as_array()
-                .ok_or_else(|| "program is not an array".to_string())?
-                .iter()
-                .map(op_from_json)
-                .collect::<Result<Program, String>>()
-        })
+        .map(Program::from_json_value)
         .collect::<Result<Vec<Program>, String>>()?;
     let opt_string = |key: &str| doc.get(key).and_then(JsonValue::as_str).map(str::to_string);
     Ok(CaseArtifact {
@@ -202,6 +137,7 @@ pub fn decode_case(text: &str) -> Result<CaseArtifact, String> {
 mod tests {
     use super::*;
     use pbm_sim::ProgramBuilder;
+    use pbm_types::Addr;
 
     #[test]
     fn artifacts_round_trip() {

@@ -226,7 +226,11 @@ pub fn differential_round(cfg: &CampaignConfig, report: &mut CampaignReport) {
 pub mod bugs {
     use super::*;
     use crate::shrink::{shrink, DEFAULT_MAX_RUNS};
+    use pbm_sim::{SchedulePerturbation, System};
     use pbm_types::bug::{self, InjectedBug};
+    use pbm_types::Cycle;
+    use pbm_workloads::commit;
+    use std::collections::BTreeMap;
 
     /// What hunting one injected bug produced.
     #[derive(Debug, Clone)]
@@ -276,6 +280,9 @@ pub mod bugs {
                 RandomProgramParams::mixed(40, 8),
                 5,
             ),
+            // Workload-level bug: the case is the commit protocol itself,
+            // not a random program — see `commit_spec`.
+            InjectedBug::DroppedBarrier => unreachable!("handled by run_commit_case"),
         };
         CaseSpec {
             programs: random_programs(seed, 4, &params),
@@ -284,6 +291,106 @@ pub mod bugs {
             perturb_seed: None,
             bsp_epoch_size,
             seed,
+        }
+    }
+
+    /// The Figure-10 commit-protocol case. The data barrier is present
+    /// exactly when the `dropped-barrier` bug is *inactive*, so the same
+    /// builder produces the healthy protocol and the broken one.
+    fn commit_spec(txs: u64, perturb_seed: Option<u64>, seed: u64) -> CaseSpec {
+        let drop = bug::is_active(InjectedBug::DroppedBarrier);
+        CaseSpec {
+            programs: commit::publisher_consumer(txs, drop).programs,
+            barrier: BarrierKind::LbPp,
+            persistency: PersistencyKind::BufferedEpoch,
+            perturb_seed,
+            bsp_epoch_size: 7,
+            seed,
+        }
+    }
+
+    /// Runs a commit-protocol case and sweeps every crash cycle for the
+    /// *application* invariant: if the commit flag is durable at
+    /// [`commit::flag_value`]`(t)` then every data line is durable at
+    /// [`commit::data_value`]`(t)` or newer.
+    ///
+    /// The hardware stays BEP-consistent whether or not the programmer's
+    /// data barrier is present — `run_case` cannot see this bug — so the
+    /// campaign checks the protocol's own crash invariant instead.
+    pub fn run_commit_case(spec: &CaseSpec) -> Result<(), FailureKind> {
+        let mut sys = System::new(spec.config(), spec.programs.clone()).expect("valid config");
+        sys.enable_checking();
+        if let Some(seed) = spec.perturb_seed {
+            sys.set_perturbation(&SchedulePerturbation::from_seed(seed));
+        }
+        let _ = sys.run();
+        // Durable state only changes at persist instants; probe each
+        // boundary and one cycle before it, as `run_case` does.
+        let mut points: Vec<Cycle> = vec![Cycle::ZERO];
+        points.extend(sys.persist_times());
+        for i in 0..points.len() {
+            let t = points[i];
+            points.push(Cycle::new(t.as_u64().saturating_sub(1)));
+        }
+        points.sort_unstable();
+        points.dedup();
+        for &at in &points {
+            let values: BTreeMap<u64, u32> = sys
+                .persistent_snapshot_at(at)
+                .iter()
+                .map(|(line, token)| (line.as_u64(), System::token_value(token)))
+                .collect();
+            let Some(&flag) = values.get(&commit::FLAG_LINE) else {
+                continue;
+            };
+            if flag == 0 {
+                continue;
+            }
+            let tx = u64::from(flag) - 1; // flag_value(tx) = 1 + tx
+            let want = commit::data_value(tx);
+            for i in 0..commit::DATA_LINES {
+                let line = commit::DATA_BASE_LINE + i;
+                let got = values.get(&line).copied().unwrap_or(0);
+                if got < want {
+                    return Err(FailureKind::Violation {
+                        at: at.as_u64(),
+                        message: format!(
+                            "commit flag durable for tx {tx} but data line {line} \
+                             holds {got} < {want}: published data is not durable"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Hunts the `dropped-barrier` bug: sweep schedule perturbations of
+    /// the broken commit protocol until [`run_commit_case`] observes a
+    /// flag-before-data durable state, then "shrink" to the one-transaction
+    /// protocol if that still reproduces (ddmin does not apply — the case
+    /// is a fixed protocol, and `run_case` passes on it by design).
+    fn run_dropped_barrier_campaign(outcome: &mut BugOutcome, seed: u64, max_cases: usize) {
+        for attempt in 0..max_cases as u64 {
+            outcome.cases_tried += 1;
+            let perturb = if attempt == 0 {
+                None
+            } else {
+                Some(
+                    seed.wrapping_add(attempt)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            };
+            let spec = commit_spec(2, perturb, seed.wrapping_add(attempt));
+            let Err(failure) = run_commit_case(&spec) else {
+                continue;
+            };
+            let small = commit_spec(1, perturb, spec.seed);
+            outcome.shrunk = Some(match run_commit_case(&small) {
+                Err(f) => (small, f),
+                Ok(()) => (spec, failure),
+            });
+            break;
         }
     }
 
@@ -301,12 +408,16 @@ pub mod bugs {
             cases_tried: 0,
             shrunk: None,
         };
-        for attempt in 0..max_cases as u64 {
-            outcome.cases_tried += 1;
-            let spec = spec_for(bug, seed.wrapping_add(attempt));
-            if run_case(&spec).is_err() {
-                outcome.shrunk = Some(shrink(&spec, DEFAULT_MAX_RUNS));
-                break;
+        if bug == InjectedBug::DroppedBarrier {
+            run_dropped_barrier_campaign(&mut outcome, seed, max_cases);
+        } else {
+            for attempt in 0..max_cases as u64 {
+                outcome.cases_tried += 1;
+                let spec = spec_for(bug, seed.wrapping_add(attempt));
+                if run_case(&spec).is_err() {
+                    outcome.shrunk = Some(shrink(&spec, DEFAULT_MAX_RUNS));
+                    break;
+                }
             }
         }
         bug::set_active(None);

@@ -76,6 +76,14 @@ impl HbGraph {
             .unwrap_or_default()
     }
 
+    /// Direct successors of `e` (epochs that must persist after it).
+    pub fn successors(&self, e: EpochTag) -> Vec<EpochTag> {
+        self.succ
+            .get(&e)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
         self.succ.values().map(BTreeSet::len).sum()
@@ -107,6 +115,72 @@ impl HbGraph {
             }
         }
         visited == self.succ.len()
+    }
+
+    /// Returns a witness cycle if the recorded order has one: a sequence of
+    /// distinct epochs `v0, v1, …, vk` where each `vi → vi+1` is a recorded
+    /// edge and `vk → v0` closes the cycle. Returns `None` iff
+    /// [`Self::is_acyclic`] is true.
+    ///
+    /// The static analyzer reports this path as the human-readable evidence
+    /// for a predicted epoch deadlock, and the fuzzing harness attaches it
+    /// to `CyclicDependences` failures; a bare boolean would force the
+    /// reader to rediscover the cycle by hand.
+    pub fn find_cycle(&self) -> Option<Vec<EpochTag>> {
+        // Iterative DFS with tri-color marking; the gray stack holds the
+        // current path so a back edge yields its cycle directly.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let adj: BTreeMap<EpochTag, Vec<EpochTag>> = self
+            .succ
+            .iter()
+            .map(|(k, v)| (*k, v.iter().copied().collect()))
+            .collect();
+        let mut color: BTreeMap<EpochTag, Color> = adj.keys().map(|k| (*k, Color::White)).collect();
+        for &root in adj.keys() {
+            if color[&root] != Color::White {
+                continue;
+            }
+            // (node, position into its successor list)
+            let mut path: Vec<EpochTag> = vec![root];
+            let mut cursor: Vec<usize> = vec![0];
+            color.insert(root, Color::Gray);
+            while let (Some(&node), Some(&pos)) = (path.last(), cursor.last()) {
+                let next = adj[&node].get(pos).copied();
+                match next {
+                    Some(succ) => {
+                        *cursor.last_mut().expect("non-empty") += 1;
+                        match color[&succ] {
+                            Color::Gray => {
+                                // Back edge: the cycle is the path suffix
+                                // starting at `succ`.
+                                let start = path
+                                    .iter()
+                                    .position(|&t| t == succ)
+                                    .expect("gray node is on the path");
+                                return Some(path[start..].to_vec());
+                            }
+                            Color::White => {
+                                color.insert(succ, Color::Gray);
+                                path.push(succ);
+                                cursor.push(0);
+                            }
+                            Color::Black => {}
+                        }
+                    }
+                    None => {
+                        color.insert(node, Color::Black);
+                        path.pop();
+                        cursor.pop();
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// Checks that `persisted` is prefix-closed: every predecessor of a
@@ -168,6 +242,68 @@ mod tests {
     }
 
     #[test]
+    fn empty_graph_is_trivially_closed_and_acyclic() {
+        let hb = HbGraph::new();
+        assert!(hb.is_acyclic());
+        assert_eq!(hb.find_cycle(), None);
+        assert_eq!(hb.edge_count(), 0);
+        // Prefix closure over no nodes holds for every predicate.
+        assert_eq!(hb.prefix_violation(|_| true), None);
+        assert_eq!(hb.prefix_violation(|_| false), None);
+        assert_eq!(hb.nodes().count(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_insert_once() {
+        let mut hb = HbGraph::new();
+        hb.add_program_order(tag(0, 0), tag(0, 1));
+        hb.add_program_order(tag(0, 0), tag(0, 1));
+        hb.add_dependence(tag(1, 0), tag(0, 1));
+        hb.add_dependence(tag(1, 0), tag(0, 1));
+        assert_eq!(hb.edge_count(), 2, "sets deduplicate edges");
+        assert_eq!(hb.predecessors(tag(0, 1)), vec![tag(0, 0), tag(1, 0)]);
+        assert!(hb.is_acyclic());
+    }
+
+    #[test]
+    fn cycle_witness_path_walks_recorded_edges() {
+        let mut hb = HbGraph::new();
+        // An acyclic prefix plus a 3-cycle reachable from it.
+        hb.add_program_order(tag(0, 0), tag(0, 1));
+        hb.add_dependence(tag(0, 1), tag(1, 0));
+        hb.add_dependence(tag(1, 0), tag(2, 0));
+        hb.add_dependence(tag(2, 0), tag(0, 1));
+        assert!(!hb.is_acyclic());
+        let cycle = hb.find_cycle().expect("cycle reported with a witness");
+        assert!(cycle.len() >= 2, "a witness names at least two epochs");
+        // Every consecutive hop (and the closing hop) is a recorded edge.
+        for (i, &from) in cycle.iter().enumerate() {
+            let to = cycle[(i + 1) % cycle.len()];
+            assert!(
+                hb.succ.get(&from).is_some_and(|s| s.contains(&to)),
+                "witness hop {from} -> {to} is not a recorded edge"
+            );
+        }
+        // The witness visits distinct epochs.
+        let set: BTreeSet<EpochTag> = cycle.iter().copied().collect();
+        assert_eq!(set.len(), cycle.len(), "witness nodes are distinct");
+        // Acyclic graphs report no witness.
+        let mut dag = HbGraph::new();
+        dag.add_program_order(tag(0, 0), tag(0, 1));
+        dag.add_dependence(tag(0, 1), tag(1, 0));
+        assert_eq!(dag.find_cycle(), None);
+    }
+
+    #[test]
+    fn two_cycle_witness() {
+        let mut hb = HbGraph::new();
+        hb.add_dependence(tag(0, 0), tag(1, 0));
+        hb.add_dependence(tag(1, 0), tag(0, 0));
+        let cycle = hb.find_cycle().expect("2-cycle found");
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
     #[should_panic(expected = "program order")]
     fn wrong_order_program_edge_panics() {
         let mut hb = HbGraph::new();
@@ -216,6 +352,22 @@ mod tests {
                 }
             }
             prop_assert!(hb.is_acyclic());
+            prop_assert_eq!(hb.find_cycle(), None);
+        }
+
+        /// `find_cycle` agrees with `is_acyclic` on arbitrary dependence
+        /// graphs (cross-core edges in both directions are legal inputs).
+        #[test]
+        fn prop_find_cycle_agrees_with_is_acyclic(edges in proptest::collection::vec(
+            (0u32..3, 0u64..3, 0u32..3, 0u64..3), 1..25)
+        ) {
+            let mut hb = HbGraph::new();
+            for (c1, e1, c2, e2) in edges {
+                if c1 != c2 {
+                    hb.add_dependence(tag(c1, e1), tag(c2, e2));
+                }
+            }
+            prop_assert_eq!(hb.is_acyclic(), hb.find_cycle().is_none());
         }
 
         /// A downward-closed cut of a random forward-edge DAG never has a

@@ -20,6 +20,7 @@
 //! | [`core`] | the paper's contribution: arbiter, IDT, PF, deadlock avoidance, recovery checking |
 //! | [`sim`] | the deterministic multicore timing simulator |
 //! | [`workloads`] | Table 2 micro-benchmarks + nine BSP application proxies |
+//! | [`analyze`] | static persist-order analyzer: epoch partitioning, happens-before linting |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub use pbm_analyze as analyze;
 pub use pbm_cache as cache;
 pub use pbm_core as core;
 pub use pbm_noc as noc;

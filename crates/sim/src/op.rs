@@ -1,6 +1,15 @@
 //! Per-core programs: the operations a core executes.
+//!
+//! [`Op`] and [`Program`] are the IR every downstream consumer shares: the
+//! simulator executes them, the static analyzer (`pbm-analyze`) partitions
+//! them into epochs, and the fuzzing corpus serializes them. The canonical
+//! serialized form lives here too ([`Op::to_json_value`] /
+//! [`Op::from_json_value`] and the [`Program`] equivalents) so corpus
+//! artifacts and analyzer reports reference ops through one encoding.
 
+use pbm_obs::json::JsonValue;
 use pbm_types::Addr;
+use serde::{Deserialize, Serialize};
 
 /// One operation in a core's program.
 ///
@@ -9,7 +18,7 @@ use pbm_types::Addr;
 /// express the paper's workloads (persistent data-structure transactions
 /// under locks, and barrier-free BSP applications) while keeping traces
 /// replayable and deterministic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Op {
     /// Load the line containing `addr`; the core blocks until data returns.
     Load(Addr),
@@ -32,7 +41,7 @@ pub enum Op {
 }
 
 /// An immutable per-core operation sequence.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Program {
     ops: Vec<Op>,
 }
@@ -64,6 +73,91 @@ impl Program {
             .iter()
             .filter(|o| matches!(o, Op::Store(_, _)))
             .count()
+    }
+}
+
+impl Op {
+    /// True for memory accesses (loads and stores; locks spin on volatile
+    /// lines and are not accesses in the persistence sense).
+    pub const fn is_access(self) -> bool {
+        matches!(self, Op::Load(_) | Op::Store(_, _))
+    }
+
+    /// The canonical JSON encoding used by corpus artifacts and analyzer
+    /// reports, e.g. `{"op":"store","addr":64,"value":3}`.
+    pub fn to_json_value(self) -> JsonValue {
+        let f = |name: &str, rest: Vec<(String, JsonValue)>| {
+            let mut fields = vec![("op".to_string(), JsonValue::Str(name.to_string()))];
+            fields.extend(rest);
+            JsonValue::Object(fields)
+        };
+        match self {
+            Op::Load(a) => f("load", vec![("addr".into(), JsonValue::Num(a.as_u64()))]),
+            Op::Store(a, v) => f(
+                "store",
+                vec![
+                    ("addr".into(), JsonValue::Num(a.as_u64())),
+                    ("value".into(), JsonValue::Num(u64::from(v))),
+                ],
+            ),
+            Op::Barrier => f("barrier", vec![]),
+            Op::Compute(c) => f(
+                "compute",
+                vec![("cycles".into(), JsonValue::Num(u64::from(c)))],
+            ),
+            Op::Lock(a) => f("lock", vec![("addr".into(), JsonValue::Num(a.as_u64()))]),
+            Op::Unlock(a) => f("unlock", vec![("addr".into(), JsonValue::Num(a.as_u64()))]),
+            Op::TxEnd => f("txend", vec![]),
+        }
+    }
+
+    /// Parses the [`Self::to_json_value`] encoding.
+    pub fn from_json_value(v: &JsonValue) -> Result<Op, String> {
+        let name = v
+            .get("op")
+            .and_then(JsonValue::as_str)
+            .ok_or("op object without \"op\" field")?;
+        let addr = || {
+            v.get("addr")
+                .and_then(JsonValue::as_u64)
+                .map(Addr::new)
+                .ok_or(format!("op {name:?} without \"addr\""))
+        };
+        Ok(match name {
+            "load" => Op::Load(addr()?),
+            "store" => Op::Store(
+                addr()?,
+                v.get("value")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("store without \"value\"")? as u32,
+            ),
+            "barrier" => Op::Barrier,
+            "compute" => Op::Compute(
+                v.get("cycles")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("compute without \"cycles\"")? as u32,
+            ),
+            "lock" => Op::Lock(addr()?),
+            "unlock" => Op::Unlock(addr()?),
+            "txend" => Op::TxEnd,
+            other => return Err(format!("unknown op {other:?}")),
+        })
+    }
+}
+
+impl Program {
+    /// The program as a JSON array of [`Op::to_json_value`] objects.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Array(self.ops.iter().map(|&op| op.to_json_value()).collect())
+    }
+
+    /// Parses the [`Self::to_json_value`] encoding.
+    pub fn from_json_value(v: &JsonValue) -> Result<Program, String> {
+        v.as_array()
+            .ok_or_else(|| "program is not an array".to_string())?
+            .iter()
+            .map(Op::from_json_value)
+            .collect()
     }
 }
 
@@ -220,5 +314,45 @@ mod tests {
     fn from_iterator() {
         let p: Program = vec![Op::Barrier, Op::TxEnd].into_iter().collect();
         assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn json_round_trip_covers_every_op() {
+        let mut b = ProgramBuilder::new();
+        b.load(Addr::new(0))
+            .store(Addr::new(64), 7)
+            .barrier()
+            .compute(12)
+            .lock(Addr::new(1 << 41))
+            .unlock(Addr::new(1 << 41))
+            .tx_end();
+        let p = b.build();
+        let back = Program::from_json_value(&p.to_json_value()).expect("parses");
+        assert_eq!(back, p);
+        assert_eq!(
+            Op::Store(Addr::new(64), 7).to_json_value().to_json(),
+            r#"{"op":"store","addr":64,"value":7}"#
+        );
+        assert!(Op::from_json_value(&JsonValue::Null).is_err());
+        assert!(Op::from_json_value(&JsonValue::Object(vec![(
+            "op".into(),
+            JsonValue::Str("jmp".into())
+        )]))
+        .is_err());
+    }
+
+    #[test]
+    fn op_access_classification() {
+        assert!(Op::Load(Addr::new(0)).is_access());
+        assert!(Op::Store(Addr::new(0), 1).is_access());
+        for op in [
+            Op::Barrier,
+            Op::Compute(3),
+            Op::Lock(Addr::new(0)),
+            Op::Unlock(Addr::new(0)),
+            Op::TxEnd,
+        ] {
+            assert!(!op.is_access());
+        }
     }
 }

@@ -33,15 +33,24 @@ pub enum InjectedBug {
     /// a line's first modification in an epoch, so recovery cannot undo a
     /// partially-persisted epoch (§5.2.1 broken).
     SkipUndoLog,
+    /// The *workload-level* bug: the programmer's data persist barrier is
+    /// dropped from the Figure-10 commit protocol, so the commit flag
+    /// shares an epoch with the data it publishes. The hardware is
+    /// blameless and stays BEP-consistent — the crash invariant broken is
+    /// the application's (flag durable ⇒ data durable). Hooked in
+    /// `pbm_workloads::commit` via the bug campaign rather than in the
+    /// protocol model.
+    DroppedBarrier,
 }
 
 impl InjectedBug {
     /// Every injected bug, in a stable order.
-    pub const ALL: [InjectedBug; 4] = [
+    pub const ALL: [InjectedBug; 5] = [
         InjectedBug::DropIdtEdge,
         InjectedBug::PrematureBankAck,
         InjectedBug::SkipDeadlockSplit,
         InjectedBug::SkipUndoLog,
+        InjectedBug::DroppedBarrier,
     ];
 
     /// Stable CLI / artifact name of the bug.
@@ -51,6 +60,7 @@ impl InjectedBug {
             InjectedBug::PrematureBankAck => "premature-bank-ack",
             InjectedBug::SkipDeadlockSplit => "skip-deadlock-split",
             InjectedBug::SkipUndoLog => "skip-undo-log",
+            InjectedBug::DroppedBarrier => "dropped-barrier",
         }
     }
 
@@ -65,6 +75,7 @@ impl InjectedBug {
             InjectedBug::PrematureBankAck => 2,
             InjectedBug::SkipDeadlockSplit => 3,
             InjectedBug::SkipUndoLog => 4,
+            InjectedBug::DroppedBarrier => 5,
         }
     }
 

@@ -1,0 +1,124 @@
+//! The Figure-10 commit protocol as a stand-alone two-core workload:
+//! publish data, persist-barrier, publish the commit flag.
+//!
+//! This is the smallest program shape whose crash consistency depends on a
+//! *programmer-inserted* barrier rather than on the hardware: the
+//! publisher writes a span of data lines, persist-barriers, then writes a
+//! flag line the consumer polls. Recovery reading a durable flag must find
+//! every data line durable — guaranteed under BEP exactly because the
+//! barrier puts the flag in a later epoch.
+//!
+//! [`publisher_consumer`] can build the protocol with the data barrier
+//! *dropped*, which is the workload-level `dropped-barrier` injected bug:
+//! `pbm-analyze` flags the resulting unordered publication statically, and
+//! the `pbm-check` bug campaign catches the flag-before-data durable state
+//! dynamically at some crash cycle. Both proofs run against the same
+//! builder, so the static and dynamic verdicts are about the same program.
+
+use crate::Workload;
+use pbm_sim::ProgramBuilder;
+use pbm_types::{Addr, LINE_SIZE};
+
+/// Line index of the commit flag. Kept *below* the data lines so the
+/// flag's LLC bank is serviced no later than the last data bank on the
+/// default schedule — with the barrier dropped, some crash cycle exposes a
+/// durable flag over missing data.
+pub const FLAG_LINE: u64 = 0;
+/// First data line.
+pub const DATA_BASE_LINE: u64 = 1;
+/// Number of data lines published per transaction.
+pub const DATA_LINES: u64 = 8;
+/// The value the publisher writes to every data line of transaction `t`.
+pub fn data_value(tx: u64) -> u32 {
+    100 + tx as u32
+}
+/// The value the publisher writes to the flag when transaction `t`'s data
+/// is (supposedly) durable.
+pub fn flag_value(tx: u64) -> u32 {
+    1 + tx as u32
+}
+
+/// Builds the publisher/consumer commit workload.
+///
+/// * Core 0 runs `txs` publications: store [`DATA_LINES`] data lines,
+///   persist barrier (omitted when `drop_barrier`), store the flag,
+///   persist barrier.
+/// * Core 1 polls: load the flag, then read a data line — the consumer
+///   side of the protocol that makes the flag a cross-thread publication.
+///
+/// The crash invariant (checked by `pbm_check::campaign::bugs`): at every
+/// crash cycle, if the flag is durable at [`flag_value`]`(t)` then every
+/// data line is durable at [`data_value`]`(t)` or newer.
+pub fn publisher_consumer(txs: u64, drop_barrier: bool) -> Workload {
+    let flag = Addr::new(FLAG_LINE * LINE_SIZE);
+    let data = |i: u64| Addr::new((DATA_BASE_LINE + i) * LINE_SIZE);
+
+    let mut publisher = ProgramBuilder::new();
+    for tx in 0..txs {
+        for i in 0..DATA_LINES {
+            publisher.store(data(i), data_value(tx));
+        }
+        if !drop_barrier {
+            publisher.barrier();
+        }
+        publisher.store(flag, flag_value(tx));
+        publisher.barrier();
+        publisher.tx_end();
+    }
+
+    let mut consumer = ProgramBuilder::new();
+    for i in 0..txs {
+        consumer.load(flag);
+        consumer.load(data(i % DATA_LINES));
+        consumer.compute(40);
+    }
+
+    Workload {
+        name: "commit",
+        programs: vec![publisher.build(), consumer.build()],
+        preloads: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbm_sim::Op;
+
+    #[test]
+    fn healthy_protocol_isolates_the_flag_epoch() {
+        let wl = publisher_consumer(3, false);
+        let pub_ops = wl.programs[0].ops();
+        // Between a data store and the flag store there is always a
+        // barrier; the flag epoch contains exactly the flag store.
+        let mut stores_since_barrier = 0;
+        for op in pub_ops {
+            match op {
+                Op::Store(a, _) if a.line().as_u64() == FLAG_LINE => {
+                    assert_eq!(stores_since_barrier, 0, "flag shares an epoch with data");
+                    stores_since_barrier += 1;
+                }
+                Op::Store(_, _) => stores_since_barrier += 1,
+                Op::Barrier => stores_since_barrier = 0,
+                _ => {}
+            }
+        }
+        assert_eq!(wl.total_stores(), 3 * (DATA_LINES as usize + 1));
+    }
+
+    #[test]
+    fn dropped_barrier_merges_data_and_flag() {
+        let healthy = publisher_consumer(2, false);
+        let broken = publisher_consumer(2, true);
+        let barriers = |wl: &Workload| {
+            wl.programs[0]
+                .ops()
+                .iter()
+                .filter(|o| matches!(o, Op::Barrier))
+                .count()
+        };
+        assert_eq!(barriers(&healthy), 4, "two barriers per tx");
+        assert_eq!(barriers(&broken), 2, "only the trailing barrier per tx");
+        assert_eq!(healthy.total_stores(), broken.total_stores());
+    }
+}

@@ -16,6 +16,12 @@
 //!   per-app mapping. Barriers are *not* emitted — BSP inserts them in
 //!   hardware.
 //!
+//! Two supporting modules: [`commit`] packages the Figure-10 commit
+//! protocol as a minimal stand-alone workload (with an optional dropped
+//! data barrier, the workload-level injected bug), and [`random`] is the
+//! shared random-program generator with a barrier-misplacement knob for
+//! the fuzzer's and static analyzer's negative corpus.
+//!
 //! # Example
 //!
 //! ```
@@ -39,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod apps;
+pub mod commit;
 mod heap;
 pub mod micro;
 pub mod random;

@@ -7,7 +7,7 @@
 //! `tests/consistency.rs` and the harness both draw from here, so a
 //! program shape that exposes a bug in one shows up in the other.
 
-use pbm_sim::{Program, ProgramBuilder};
+use pbm_sim::{Op, Program, ProgramBuilder};
 use pbm_types::Addr;
 use proptest::strategy::Strategy;
 use proptest::test_runner::TestRng;
@@ -110,6 +110,73 @@ pub fn random_programs(seed: u64, cores: usize, params: &RandomProgramParams) ->
         .collect()
 }
 
+/// Deliberate barrier misplacement, the static analyzer's negative corpus.
+///
+/// Applied *after* generation, so a misbarriered program differs from its
+/// healthy sibling only in barrier placement — exactly the class of
+/// programmer mistake `pbm-analyze` exists to catch (dropped barriers make
+/// tail writes and un-closed epochs; moved barriers re-cut epochs around
+/// the stores they were meant to order). The fuzzer reuses the knob to
+/// reach program shapes the healthy generator never emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Misbarrier {
+    /// Percent of barriers dropped outright (0–100).
+    pub drop_pct: u8,
+    /// Percent of surviving barriers moved earlier by 1–3 ops (0–100).
+    pub move_pct: u8,
+}
+
+impl Misbarrier {
+    /// Drop every barrier (the harshest negative corpus).
+    pub const DROP_ALL: Misbarrier = Misbarrier {
+        drop_pct: 100,
+        move_pct: 0,
+    };
+
+    /// Drop half the barriers and nudge half the rest — mixed damage.
+    pub const MIXED: Misbarrier = Misbarrier {
+        drop_pct: 50,
+        move_pct: 50,
+    };
+
+    /// True when the knob can alter a program at all.
+    pub fn is_active(&self) -> bool {
+        self.drop_pct > 0 || self.move_pct > 0
+    }
+}
+
+/// Applies `knob` to `programs`, deterministically under `seed`.
+///
+/// Dropping removes the barrier op; moving swaps it 1–3 positions earlier
+/// (clamped at the program start), which pulls trailing stores of the
+/// previous epoch into the next one.
+pub fn apply_misbarrier(programs: &[Program], seed: u64, knob: Misbarrier) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6d69_7362_6172_7221); // "misbar!"
+    programs
+        .iter()
+        .map(|p| {
+            let mut ops: Vec<Op> = p.ops().to_vec();
+            let mut i = 0;
+            while i < ops.len() {
+                if ops[i] == Op::Barrier {
+                    if rng.gen_range(0..100) < u32::from(knob.drop_pct) {
+                        ops.remove(i);
+                        continue; // re-examine the op now at `i`
+                    }
+                    if rng.gen_range(0..100) < u32::from(knob.move_pct) {
+                        let dist = rng.gen_range(1..=3).min(i);
+                        for k in 0..dist {
+                            ops.swap(i - k, i - k - 1);
+                        }
+                    }
+                }
+                i += 1;
+            }
+            ops.into_iter().collect()
+        })
+        .collect()
+}
+
 /// A `proptest` [`Strategy`] producing `(seed, programs)` pairs from the
 /// shared generator; the seed is kept so failures can be re-run or handed
 /// to the `pbm-check` harness verbatim.
@@ -117,6 +184,17 @@ pub fn random_programs(seed: u64, cores: usize, params: &RandomProgramParams) ->
 pub struct ProgramsStrategy {
     cores: usize,
     params: RandomProgramParams,
+    misbarrier: Option<Misbarrier>,
+}
+
+impl ProgramsStrategy {
+    /// Applies barrier misplacement to every generated program set (the
+    /// same `seed` the programs derive from also drives the damage, so a
+    /// failing `(seed, programs)` pair replays exactly).
+    pub fn misbarrier(mut self, knob: Misbarrier) -> Self {
+        self.misbarrier = Some(knob);
+        self
+    }
 }
 
 impl Strategy for ProgramsStrategy {
@@ -125,13 +203,21 @@ impl Strategy for ProgramsStrategy {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         // Keep seeds small enough to quote in a test name or CLI flag.
         let seed = rng.next_u64() % 1_000_000;
-        (seed, random_programs(seed, self.cores, &self.params))
+        let mut programs = random_programs(seed, self.cores, &self.params);
+        if let Some(knob) = self.misbarrier {
+            programs = apply_misbarrier(&programs, seed, knob);
+        }
+        (seed, programs)
     }
 }
 
 /// Strategy over [`random_programs`] with `cores` cores and `params`.
 pub fn programs(cores: usize, params: RandomProgramParams) -> ProgramsStrategy {
-    ProgramsStrategy { cores, params }
+    ProgramsStrategy {
+        cores,
+        params,
+        misbarrier: None,
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +248,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn misbarrier_drop_all_removes_every_barrier() {
+        let p = RandomProgramParams::mixed(60, 16);
+        let healthy = random_programs(11, 4, &p);
+        let damaged = apply_misbarrier(&healthy, 11, Misbarrier::DROP_ALL);
+        for prog in &damaged {
+            assert!(!prog.ops().contains(&Op::Barrier));
+        }
+        // Only barriers were removed: op multiset minus barriers matches.
+        for (h, d) in healthy.iter().zip(&damaged) {
+            let h_rest: Vec<_> = h
+                .ops()
+                .iter()
+                .filter(|o| !matches!(o, Op::Barrier))
+                .collect();
+            let d_rest: Vec<_> = d.ops().iter().collect();
+            assert_eq!(h_rest, d_rest);
+        }
+    }
+
+    #[test]
+    fn misbarrier_is_deterministic_and_preserves_op_multiset_on_move() {
+        let p = RandomProgramParams::mixed(60, 16);
+        let healthy = random_programs(5, 4, &p);
+        let knob = Misbarrier {
+            drop_pct: 0,
+            move_pct: 100,
+        };
+        let a = apply_misbarrier(&healthy, 5, knob);
+        let b = apply_misbarrier(&healthy, 5, knob);
+        assert_eq!(a, b, "same seed, same damage");
+        for (h, d) in healthy.iter().zip(&a) {
+            assert_eq!(h.len(), d.len(), "moving never drops ops");
+            assert_eq!(h.store_count(), d.store_count());
+            let barriers =
+                |pr: &Program| pr.ops().iter().filter(|o| matches!(o, Op::Barrier)).count();
+            assert_eq!(barriers(h), barriers(d));
+        }
+        assert_ne!(
+            a, healthy,
+            "60-op programs with ~10% barriers always move at 100%"
+        );
+    }
+
+    #[test]
+    fn strategy_applies_the_misbarrier_knob() {
+        let strat = programs(2, RandomProgramParams::mixed(40, 8)).misbarrier(Misbarrier::DROP_ALL);
+        let mut rng = TestRng::deterministic("misbarrier");
+        let (seed, progs) = strat.generate(&mut rng);
+        let expected = apply_misbarrier(
+            &random_programs(seed, 2, &RandomProgramParams::mixed(40, 8)),
+            seed,
+            Misbarrier::DROP_ALL,
+        );
+        assert_eq!(progs, expected);
+        for p in &progs {
+            assert!(!p.ops().contains(&Op::Barrier));
+        }
+        assert!(Misbarrier::MIXED.is_active());
+        assert!(!Misbarrier {
+            drop_pct: 0,
+            move_pct: 0
+        }
+        .is_active());
     }
 
     #[test]
