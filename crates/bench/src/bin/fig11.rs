@@ -5,33 +5,12 @@
 //!
 //! Run: `cargo run -p pbm-bench --release --bin fig11 [--quick] [--jobs=N]`
 
+use pbm_bench::profiling::{fig11_base, fig11_jobs};
 use pbm_bench::{gmean, print_flush_latency, print_system_header, print_table, quick_mode, Runner};
-use pbm_types::{BarrierKind, PersistencyKind, SystemConfig};
-use pbm_workloads::micro::{self, MicroParams};
 
 fn main() {
-    let mut params = MicroParams::paper();
-    if quick_mode() {
-        params.threads = 8;
-        params.ops_per_thread = 16;
-    }
-    let mut base = SystemConfig::micro48();
-    base.persistency = PersistencyKind::BufferedEpoch;
-    if quick_mode() {
-        base.cores = 8;
-        base.llc_banks = 8;
-        base.mesh_rows = 2;
-    }
-    print_system_header(&base);
-
-    let mut jobs = Vec::new();
-    for wl in micro::all(&params) {
-        for kind in BarrierKind::LAZY_VARIANTS {
-            let mut cfg = base.clone();
-            cfg.barrier = kind;
-            jobs.push((kind.to_string(), wl.name.to_string(), cfg, wl.clone()));
-        }
-    }
+    print_system_header(&fig11_base(quick_mode()));
+    let jobs = fig11_jobs(quick_mode());
     let runner = Runner::from_args("fig11");
     let results = runner.run(jobs);
 

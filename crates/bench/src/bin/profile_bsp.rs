@@ -6,18 +6,99 @@
 //! counters the roadmap tracks.
 //!
 //! Run: `cargo run -p pbm-bench --release --bin profile_bsp -- \
-//!           [app] [ops] [--jobs=N] [--trace-out=t.json] [--metrics-csv=m.csv]`
+//!           [app] [ops] [--jobs=N] [--json=p.json] [--trace-out=t.json] \
+//!           [--metrics-csv=m.csv]`
 //!
 //! The ladder's configurations run in parallel on the runner's worker
 //! pool; with `--trace-out` / `--metrics-csv` the artifacts are written
-//! per configuration, suffixed with the config and workload labels.
+//! per configuration, suffixed with the config and workload labels. With
+//! `--json=` the stall attribution and the full flush-latency histogram
+//! (power-of-two buckets + p50/p90/p99/p99.9) are also written as a
+//! machine-readable `pbm-profile-bsp/v1` document.
 
 use pbm_bench::{Job, Runner};
-use pbm_types::{BarrierKind, Cycle, PersistencyKind, SystemConfig};
+use pbm_obs::json::JsonValue;
+use pbm_types::{BarrierKind, Cycle, Histogram, PersistencyKind, SimStats, SystemConfig};
 use pbm_workloads::apps::{self, AppParams};
+
+/// `pbm-profile-bsp/v1`: one ladder run as integer-only JSON.
+const JSON_SCHEMA: &str = "pbm-profile-bsp/v1";
+
+/// The flush-latency distribution: nonzero power-of-two buckets plus the
+/// nearest-rank tail percentiles. All integers (`Histogram::percentile`
+/// returns bucket lower bounds), so the document is byte-deterministic.
+fn histogram_json(h: &Histogram) -> JsonValue {
+    JsonValue::Object(vec![
+        ("count".into(), JsonValue::Num(h.count())),
+        ("sum".into(), JsonValue::Num(h.sum())),
+        ("max".into(), JsonValue::Num(h.max())),
+        ("p50".into(), JsonValue::Num(h.percentile(50.0))),
+        ("p90".into(), JsonValue::Num(h.percentile(90.0))),
+        ("p99".into(), JsonValue::Num(h.percentile(99.0))),
+        ("p99_9".into(), JsonValue::Num(h.percentile(99.9))),
+        (
+            "buckets".into(),
+            JsonValue::Array(
+                h.nonzero_buckets()
+                    .into_iter()
+                    .map(|(lower, upper, count)| {
+                        JsonValue::Object(vec![
+                            ("lower".into(), JsonValue::Num(lower)),
+                            ("upper".into(), JsonValue::Num(upper)),
+                            ("count".into(), JsonValue::Num(count)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// One ladder rung: the stall attribution in raw core-cycles (consumers
+/// derive percentages; the integers keep the document exact) plus the
+/// flush-latency histogram.
+fn config_json(label: &str, stats: &SimStats, cores: usize) -> JsonValue {
+    let core_cycles = stats.cycles * cores as u64;
+    let stalled = stats.online_persist_stall_cycles + stats.barrier_stall_cycles;
+    JsonValue::Object(vec![
+        ("config".into(), JsonValue::Str(label.into())),
+        ("cycles".into(), JsonValue::Num(stats.cycles)),
+        (
+            "epochs_created".into(),
+            JsonValue::Num(stats.epochs_created),
+        ),
+        (
+            "deadlock_splits".into(),
+            JsonValue::Num(stats.deadlock_splits),
+        ),
+        (
+            "stall_attribution".into(),
+            JsonValue::Object(vec![
+                ("core_cycles".into(), JsonValue::Num(core_cycles)),
+                (
+                    "online_persist".into(),
+                    JsonValue::Num(stats.online_persist_stall_cycles),
+                ),
+                ("barrier".into(), JsonValue::Num(stats.barrier_stall_cycles)),
+                (
+                    "compute".into(),
+                    JsonValue::Num(core_cycles.saturating_sub(stalled)),
+                ),
+            ]),
+        ),
+        (
+            "flush_latency".into(),
+            histogram_json(&stats.epoch_flush_latency),
+        ),
+    ])
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let json_out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--json="))
+        .map(String::from);
     let app = args
         .iter()
         .skip(1)
@@ -108,6 +189,29 @@ fn main() {
             stats.epochs_eviction_flushed,
             stats.parks,
         );
+    }
+    if let Some(path) = json_out {
+        let doc = JsonValue::Object(vec![
+            ("schema".into(), JsonValue::Str(JSON_SCHEMA.into())),
+            ("app".into(), JsonValue::Str(app.clone())),
+            ("ops_per_thread".into(), JsonValue::Num(ops as u64)),
+            (
+                "configs".into(),
+                JsonValue::Array(
+                    results
+                        .iter()
+                        .map(|r| config_json(&r.config, &r.stats, base.cores))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let mut text = doc.to_json();
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("# profile_bsp: {} configs -> {path}", results.len());
     }
     runner.finish();
 }

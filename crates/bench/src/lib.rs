@@ -10,6 +10,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod obs;
+pub mod profiling;
 pub mod runner;
 
 pub use obs::{capture_artifacts, run_one_instrumented, ObsOptions};

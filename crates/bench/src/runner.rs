@@ -160,8 +160,9 @@ impl Runner {
 
     /// Records the binary's total wall-clock in `BENCH_runner.json`
     /// (merging with — and replacing — any previous entry for the same
-    /// binary) and notes it on stderr. No-op under `--no-runner-json` or
-    /// when the runner was built without a report path.
+    /// `(binary, jobs, quick)` identity) and notes it on stderr. No-op
+    /// under `--no-runner-json` or when the runner was built without a
+    /// report path.
     ///
     /// The file is a deterministic JSON document:
     ///
@@ -182,7 +183,7 @@ impl Runner {
             ("quick".into(), JsonValue::Bool(crate::quick_mode())),
             ("wall_ms".into(), JsonValue::Num(wall_ms)),
         ]);
-        let mut runs: Vec<JsonValue> = std::fs::read_to_string(path)
+        let runs: Vec<JsonValue> = std::fs::read_to_string(path)
             .ok()
             .and_then(|text| json::parse(&text).ok())
             .and_then(|doc| {
@@ -190,8 +191,7 @@ impl Runner {
                     .and_then(|r| r.as_array().map(<[_]>::to_vec))
             })
             .unwrap_or_default();
-        runs.retain(|r| r.get("binary").and_then(JsonValue::as_str) != Some(self.binary.as_str()));
-        runs.push(entry);
+        let runs = merge_run_entry(runs, entry);
         let doc = JsonValue::Object(vec![
             ("schema".into(), JsonValue::Str(RUNNER_JSON_SCHEMA.into())),
             ("runs".into(), JsonValue::Array(runs)),
@@ -209,6 +209,26 @@ impl Runner {
             path.display()
         );
     }
+}
+
+/// Merges a fresh run entry into the `runs` array, replacing only a
+/// previous entry with the same `(binary, jobs, quick)` identity. A quick
+/// CI smoke run and a full-scale run of the same binary therefore coexist
+/// instead of clobbering each other's wall-clock record.
+fn merge_run_entry(mut runs: Vec<JsonValue>, entry: JsonValue) -> Vec<JsonValue> {
+    let key = |r: &JsonValue| {
+        (
+            r.get("binary")
+                .and_then(JsonValue::as_str)
+                .map(String::from),
+            r.get("jobs").and_then(JsonValue::as_u64),
+            r.get("quick").cloned(),
+        )
+    };
+    let entry_key = key(&entry);
+    runs.retain(|r| key(r) != entry_key);
+    runs.push(entry);
+    runs
 }
 
 #[cfg(test)]
@@ -253,6 +273,59 @@ mod tests {
         for r in &results {
             assert!(!r.samples.is_empty(), "sampler attached");
         }
+    }
+
+    fn run_entry(binary: &str, jobs: u64, quick: bool, wall_ms: u64) -> JsonValue {
+        JsonValue::Object(vec![
+            ("binary".into(), JsonValue::Str(binary.into())),
+            ("jobs".into(), JsonValue::Num(jobs)),
+            ("cells".into(), JsonValue::Num(20)),
+            ("quick".into(), JsonValue::Bool(quick)),
+            ("wall_ms".into(), JsonValue::Num(wall_ms)),
+        ])
+    }
+
+    #[test]
+    fn merge_replaces_only_matching_identity() {
+        let runs = vec![
+            run_entry("fig11", 2, true, 100),
+            run_entry("fig11", 2, false, 90_000),
+            run_entry("fig11", 8, true, 40),
+            run_entry("prof", 2, true, 200),
+        ];
+        let merged = merge_run_entry(runs, run_entry("fig11", 2, true, 150));
+        assert_eq!(
+            merged.len(),
+            4,
+            "only the same (binary, jobs, quick) entry is replaced"
+        );
+        let wall = |b: &str, j: u64, q: bool| {
+            merged
+                .iter()
+                .find(|r| {
+                    r.get("binary").and_then(JsonValue::as_str) == Some(b)
+                        && r.get("jobs").and_then(JsonValue::as_u64) == Some(j)
+                        && r.get("quick") == Some(&JsonValue::Bool(q))
+                })
+                .and_then(|r| r.get("wall_ms").and_then(JsonValue::as_u64))
+        };
+        assert_eq!(wall("fig11", 2, true), Some(150), "replaced");
+        assert_eq!(
+            wall("fig11", 2, false),
+            Some(90_000),
+            "full-scale run survives"
+        );
+        assert_eq!(wall("fig11", 8, true), Some(40), "other job count survives");
+        assert_eq!(wall("prof", 2, true), Some(200), "other binary survives");
+        assert_eq!(
+            merged
+                .last()
+                .unwrap()
+                .get("wall_ms")
+                .and_then(JsonValue::as_u64),
+            Some(150),
+            "fresh entry appends at the end"
+        );
     }
 
     #[test]

@@ -99,9 +99,19 @@ impl McTiming {
     /// Schedules a line write (persist) issued at `now`; returns the time
     /// at which the write is durable (when the PersistAck is generated).
     pub fn schedule_write(&mut self, now: Cycle) -> Cycle {
+        self.schedule_write_timed(now).1
+    }
+
+    /// Like [`McTiming::schedule_write`], but also returns the cycle at
+    /// which the device write *started* (when the access left the
+    /// controller's write queue): `(start, durable)`. The difference
+    /// `start - now` is queueing delay behind buffered persists;
+    /// `durable - start` is device service time. Profilers use the split
+    /// to attribute persist latency to MC contention vs NVRAM write cost.
+    pub fn schedule_write_timed(&mut self, now: Cycle) -> (Cycle, Cycle) {
         self.writes += 1;
         let latency = self.write_latency + self.jitter();
-        Self::schedule_on(&mut self.banks, now, latency)
+        Self::schedule_on_timed(&mut self.banks, now, latency)
     }
 
     /// Write lanes still busy at `now` — the instantaneous depth of the
@@ -123,6 +133,10 @@ impl McTiming {
     }
 
     fn schedule_on(lanes: &mut [Cycle], now: Cycle, latency: u64) -> Cycle {
+        Self::schedule_on_timed(lanes, now, latency).1
+    }
+
+    fn schedule_on_timed(lanes: &mut [Cycle], now: Cycle, latency: u64) -> (Cycle, Cycle) {
         // Earliest-free bank; ties broken by index for determinism.
         let bank = lanes
             .iter()
@@ -133,7 +147,7 @@ impl McTiming {
         let start = lanes[bank].max(now);
         let done = start + Cycle::new(latency);
         lanes[bank] = done;
-        done
+        (start, done)
     }
 }
 
@@ -224,6 +238,17 @@ mod tests {
                 "write {i} done at {t}, outside [{base}, {base}+24]"
             );
         }
+    }
+
+    #[test]
+    fn timed_write_splits_queue_wait_from_service() {
+        let mut mc = McTiming::new(1, 240, 360);
+        let (s0, d0) = mc.schedule_write_timed(Cycle::new(100));
+        assert_eq!((s0, d0), (Cycle::new(100), Cycle::new(460)), "no queue");
+        let (s1, d1) = mc.schedule_write_timed(Cycle::new(110));
+        assert_eq!(s1, Cycle::new(460), "queued behind the first write");
+        assert_eq!(d1, Cycle::new(820));
+        assert_eq!(mc.schedule_write(Cycle::new(0)), Cycle::new(1180));
     }
 
     #[test]

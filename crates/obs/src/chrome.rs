@@ -222,6 +222,41 @@ pub fn export_chrome_trace(events: &[TraceEvent], samples: &[MetricSample]) -> S
         let ts = ev.cycle.as_u64();
         match ev.kind {
             TraceEventKind::EpochPhase { .. } => {}
+            TraceEventKind::FlushRequested { tag, reason } => {
+                let core = tag.core.as_u32();
+                out.push(instant(
+                    format!("FlushRequested {}", tag),
+                    ts,
+                    PID_EVENTS,
+                    u64::from(core),
+                    vec![("reason", s(reason.name()))],
+                ));
+                if !event_cores.contains(&core) {
+                    event_cores.push(core);
+                }
+            }
+            TraceEventKind::BankFlushStart {
+                tag, bank, lines, ..
+            } => {
+                out.push(instant(
+                    format!("FlushStart {}", tag),
+                    ts,
+                    PID_BANKS,
+                    u64::from(bank.as_u32()),
+                    vec![
+                        ("epoch", s(tag.to_string())),
+                        ("lines", n(u64::from(lines))),
+                    ],
+                ));
+                if !bank_tids.contains(&bank.as_u32()) {
+                    bank_tids.push(bank.as_u32());
+                }
+            }
+            TraceEventKind::PersistWrite { .. } => {
+                // One event per flushed line — too dense for a viewer
+                // track. pbm-prof consumes these from the structured-event
+                // export instead.
+            }
             TraceEventKind::FlushEpoch { tag, reason } => {
                 let core = tag.core.as_u32();
                 out.push(instant(

@@ -89,9 +89,44 @@ pub fn event_to_json(event: &TraceEvent) -> JsonValue {
             tag_fields("", tag, &mut fields);
             fields.push(("phase".into(), s(phase.name())));
         }
-        TraceEventKind::FlushEpoch { tag, reason } => {
+        TraceEventKind::FlushRequested { tag, reason }
+        | TraceEventKind::FlushEpoch { tag, reason } => {
             tag_fields("", tag, &mut fields);
             fields.push(("reason".into(), s(reason.name())));
+        }
+        TraceEventKind::BankFlushStart {
+            tag,
+            bank,
+            cmd_at,
+            wb_at,
+            log_at,
+            chk_at,
+            lines,
+        } => {
+            tag_fields("", tag, &mut fields);
+            fields.push(("bank".into(), num(u64::from(bank.as_u32()))));
+            fields.push(("cmd_at".into(), num(cmd_at.as_u64())));
+            fields.push(("wb_at".into(), num(wb_at.as_u64())));
+            fields.push(("log_at".into(), num(log_at.as_u64())));
+            fields.push(("chk_at".into(), num(chk_at.as_u64())));
+            fields.push(("lines".into(), num(u64::from(lines))));
+        }
+        TraceEventKind::PersistWrite {
+            tag,
+            bank,
+            mc,
+            mc_at,
+            begin,
+            durable,
+            ack_at,
+        } => {
+            tag_fields("", tag, &mut fields);
+            fields.push(("bank".into(), num(u64::from(bank.as_u32()))));
+            fields.push(("mc".into(), num(u64::from(mc.as_u32()))));
+            fields.push(("mc_at".into(), num(mc_at.as_u64())));
+            fields.push(("begin".into(), num(begin.as_u64())));
+            fields.push(("durable".into(), num(durable.as_u64())));
+            fields.push(("ack_at".into(), num(ack_at.as_u64())));
         }
         TraceEventKind::BankAck { tag, bank } => {
             tag_fields("", tag, &mut fields);
@@ -163,10 +198,33 @@ pub fn event_from_json(obj: &JsonValue) -> Result<TraceEvent, DecodeError> {
             tag: get_tag(obj, "")?,
             phase: EpochPhase::parse(get_str(obj, "phase")?).ok_or_else(|| shape("bad phase"))?,
         },
+        "flush_requested" => TraceEventKind::FlushRequested {
+            tag: get_tag(obj, "")?,
+            reason: FlushReason::parse(get_str(obj, "reason")?)
+                .ok_or_else(|| shape("bad reason"))?,
+        },
         "flush_epoch" => TraceEventKind::FlushEpoch {
             tag: get_tag(obj, "")?,
             reason: FlushReason::parse(get_str(obj, "reason")?)
                 .ok_or_else(|| shape("bad reason"))?,
+        },
+        "bank_flush_start" => TraceEventKind::BankFlushStart {
+            tag: get_tag(obj, "")?,
+            bank: BankId::new(get_u64(obj, "bank")? as u32),
+            cmd_at: Cycle::new(get_u64(obj, "cmd_at")?),
+            wb_at: Cycle::new(get_u64(obj, "wb_at")?),
+            log_at: Cycle::new(get_u64(obj, "log_at")?),
+            chk_at: Cycle::new(get_u64(obj, "chk_at")?),
+            lines: get_u64(obj, "lines")? as u32,
+        },
+        "persist_write" => TraceEventKind::PersistWrite {
+            tag: get_tag(obj, "")?,
+            bank: BankId::new(get_u64(obj, "bank")? as u32),
+            mc: McId::new(get_u64(obj, "mc")? as u32),
+            mc_at: Cycle::new(get_u64(obj, "mc_at")?),
+            begin: Cycle::new(get_u64(obj, "begin")?),
+            durable: Cycle::new(get_u64(obj, "durable")?),
+            ack_at: Cycle::new(get_u64(obj, "ack_at")?),
         },
         "bank_ack" => TraceEventKind::BankAck {
             tag: get_tag(obj, "")?,
@@ -265,10 +323,41 @@ mod tests {
                 },
             ),
             TraceEvent::new(
+                Cycle::new(10),
+                TraceEventKind::FlushRequested {
+                    tag: t01,
+                    reason: FlushReason::Barrier,
+                },
+            ),
+            TraceEvent::new(
                 Cycle::new(11),
                 TraceEventKind::FlushEpoch {
                     tag: t01,
                     reason: FlushReason::Conflict,
+                },
+            ),
+            TraceEvent::new(
+                Cycle::new(15),
+                TraceEventKind::BankFlushStart {
+                    tag: t01,
+                    bank: BankId::new(1),
+                    cmd_at: Cycle::new(15),
+                    wb_at: Cycle::new(13),
+                    log_at: Cycle::new(11),
+                    chk_at: Cycle::new(11),
+                    lines: 3,
+                },
+            ),
+            TraceEvent::new(
+                Cycle::new(15),
+                TraceEventKind::PersistWrite {
+                    tag: t01,
+                    bank: BankId::new(1),
+                    mc: McId::new(0),
+                    mc_at: Cycle::new(19),
+                    begin: Cycle::new(21),
+                    durable: Cycle::new(381),
+                    ack_at: Cycle::new(385),
                 },
             ),
             TraceEvent::new(

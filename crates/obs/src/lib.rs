@@ -33,7 +33,7 @@ pub use pbm_types::{
     EpochPhase, FlushReason, MetricSample, NocClass, StallKind, TraceEvent, TraceEventKind,
 };
 pub use sampler::Sampler;
-pub use sink::{NullSink, TraceBuffer, TraceSink};
+pub use sink::{NullSink, RingSink, TraceBuffer, TraceSink};
 
 use pbm_types::Cycle;
 
@@ -67,6 +67,18 @@ impl Observer {
             sink: Box::new(TraceBuffer::new()),
             sampler: None,
         }
+    }
+
+    /// An observer that retains only the most recent `capacity` events in
+    /// a bounded ring ([`RingSink`]): constant memory for arbitrarily long
+    /// runs, at the cost of losing the oldest events (the sink's drop
+    /// counter records how many).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn ring(capacity: usize) -> Self {
+        Observer::with_sink(Box::new(RingSink::new(capacity)))
     }
 
     /// An observer feeding a custom sink.

@@ -1,6 +1,7 @@
 //! Trace sinks: where recorded events go.
 
 use pbm_types::TraceEvent;
+use std::collections::VecDeque;
 use std::fmt::Debug;
 
 /// Destination for recorded trace events.
@@ -76,6 +77,76 @@ impl TraceSink for TraceBuffer {
     }
 }
 
+/// Bounded ring-buffer sink: keeps the **most recent** `capacity` events,
+/// discarding the oldest on overflow, so long fuzz or profiling runs can
+/// trace indefinitely in constant memory.
+///
+/// Every discarded event bumps the drop counter, which **survives
+/// [`TraceSink::drain`]** — it is cumulative over the sink's lifetime, so
+/// a consumer that drains periodically can difference
+/// [`RingSink::dropped`] across drains to detect loss windows. A nonzero
+/// count means the retained window is *truncated at the front*: analyses
+/// that need complete causal chains (e.g. pbm-prof critical paths) should
+/// either raise the capacity or treat barriers whose anchor events fell
+/// off as incomplete.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be nonzero");
+        RingSink {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// The fixed event capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events discarded to make room, cumulative over the sink's
+    /// lifetime (NOT reset by [`TraceSink::drain`]).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +163,50 @@ mod tests {
             },
         ));
         assert!(s.drain().is_empty());
+    }
+
+    fn cmp_ev(c: u64) -> TraceEvent {
+        TraceEvent::new(
+            Cycle::new(c),
+            TraceEventKind::PersistCmp {
+                tag: EpochTag::new(CoreId::new(0), EpochId::FIRST),
+            },
+        )
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut s = RingSink::new(3);
+        assert_eq!(s.capacity(), 3);
+        assert!(s.is_empty());
+        for c in 0..5 {
+            s.record(cmp_ev(c));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2, "two oldest events fell off");
+        let cycles: Vec<u64> = s.drain().iter().map(|e| e.cycle.as_u64()).collect();
+        assert_eq!(cycles, vec![2, 3, 4], "newest events, record order");
+        assert!(s.is_empty());
+        assert_eq!(s.dropped(), 2, "drop counter survives drain");
+        s.record(cmp_ev(9));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.dropped(), 2, "no new drops until full again");
+    }
+
+    #[test]
+    fn ring_under_capacity_drops_nothing() {
+        let mut s = RingSink::new(8);
+        for c in 0..8 {
+            s.record(cmp_ev(c));
+        }
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.drain().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_ring_panics() {
+        let _ = RingSink::new(0);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`sim`] | the deterministic multicore timing simulator |
 //! | [`workloads`] | Table 2 micro-benchmarks + nine BSP application proxies |
 //! | [`analyze`] | static persist-order analyzer: epoch partitioning, happens-before linting |
+//! | [`prof`] | offline causal critical-path profiler, flame-graph export, perf-regression diffing |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@ pub use pbm_core as core;
 pub use pbm_noc as noc;
 pub use pbm_nvram as nvram;
 pub use pbm_obs as obs;
+pub use pbm_prof as prof;
 pub use pbm_sim as sim;
 pub use pbm_types as types;
 pub use pbm_workloads as workloads;

@@ -1,0 +1,209 @@
+//! JSON report documents: the per-trace `pbm-prof-report/v1` and the
+//! per-grid `pbm-bench-prof/v1` (`BENCH_prof.json`) summary.
+//!
+//! Everything is built on [`pbm_obs::json::JsonValue`]: insertion-ordered
+//! objects, unsigned integers only (the mean is exported in *milli-cycles*
+//! to stay integral), so identical inputs serialize byte-identically.
+
+use crate::attr::{Attribution, BarrierProfile, Profile};
+use pbm_obs::json::JsonValue;
+
+/// Schema tag of the per-trace report document.
+pub const REPORT_SCHEMA: &str = "pbm-prof-report/v1";
+
+/// Schema tag of the `BENCH_prof.json` grid summary.
+pub const BENCH_SCHEMA: &str = "pbm-bench-prof/v1";
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice: the smallest
+/// element with at least `p`% of the samples at or below it. Exact integer
+/// arithmetic — no interpolation. Returns 0 for an empty slice.
+pub fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Latency distribution summary: `{count, sum, mean_milli, p50, p99, max}`.
+/// `mean_milli` is the mean in thousandths of a cycle (integer), keeping
+/// the document float-free while preserving three decimal places.
+pub fn latency_summary_json(sorted: &[u64]) -> JsonValue {
+    let count = sorted.len() as u64;
+    let sum: u64 = sorted.iter().sum();
+    obj(vec![
+        ("count", JsonValue::Num(count)),
+        ("sum", JsonValue::Num(sum)),
+        (
+            "mean_milli",
+            JsonValue::Num((sum * 1000).checked_div(count).unwrap_or(0)),
+        ),
+        ("p50", JsonValue::Num(percentile(sorted, 50))),
+        ("p99", JsonValue::Num(percentile(sorted, 99))),
+        ("max", JsonValue::Num(sorted.last().copied().unwrap_or(0))),
+    ])
+}
+
+/// An attribution as an object with **every** component present (zeros
+/// included), in causal path order — a stable shape for diffing.
+pub fn attribution_json(attribution: &Attribution) -> JsonValue {
+    JsonValue::Object(
+        attribution
+            .iter()
+            .map(|(c, n)| (c.name().to_string(), JsonValue::Num(n)))
+            .collect(),
+    )
+}
+
+fn barrier_json(b: &BarrierProfile) -> JsonValue {
+    obj(vec![
+        ("core", JsonValue::Num(b.tag.core.as_u32() as u64)),
+        ("epoch", JsonValue::Num(b.tag.epoch.as_u64())),
+        ("reason", JsonValue::Str(b.reason.name().to_string())),
+        ("requested", JsonValue::Num(b.requested.as_u64())),
+        ("flush_start", JsonValue::Num(b.flush_start.as_u64())),
+        ("persisted", JsonValue::Num(b.persisted.as_u64())),
+        ("latency", JsonValue::Num(b.latency())),
+        (
+            "straggler_bank",
+            match b.straggler_bank {
+                Some(bank) => JsonValue::Num(bank.as_u32() as u64),
+                None => JsonValue::Null,
+            },
+        ),
+        (
+            "dep_sources",
+            JsonValue::Array(
+                b.dep_sources
+                    .iter()
+                    .map(|t| JsonValue::Str(t.to_string()))
+                    .collect(),
+            ),
+        ),
+        ("attribution", attribution_json(&b.attribution)),
+    ])
+}
+
+/// The `pbm-prof-report/v1` document for one analyzed trace: aggregate
+/// counters, latency distribution, merged attribution, and the `top_k`
+/// slowest barriers with their full critical-path witnesses.
+pub fn report_json(profile: &Profile, top_k: usize) -> JsonValue {
+    obj(vec![
+        ("schema", JsonValue::Str(REPORT_SCHEMA.to_string())),
+        ("barriers", JsonValue::Num(profile.barriers.len() as u64)),
+        ("incomplete", JsonValue::Num(profile.incomplete)),
+        ("deadlock_splits", JsonValue::Num(profile.deadlock_splits)),
+        ("idt_records", JsonValue::Num(profile.idt_records)),
+        ("idt_overflows", JsonValue::Num(profile.idt_overflows)),
+        ("latency", latency_summary_json(&profile.sorted_latencies())),
+        ("attribution", attribution_json(&profile.totals)),
+        (
+            "slowest",
+            JsonValue::Array(
+                profile
+                    .slowest(top_k)
+                    .into_iter()
+                    .map(barrier_json)
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// One `BENCH_prof.json` grid cell: the profile of one config×workload
+/// run, summarized.
+pub fn cell_json(config: &str, workload: &str, profile: &Profile) -> JsonValue {
+    obj(vec![
+        ("config", JsonValue::Str(config.to_string())),
+        ("workload", JsonValue::Str(workload.to_string())),
+        ("barriers", JsonValue::Num(profile.barriers.len() as u64)),
+        ("incomplete", JsonValue::Num(profile.incomplete)),
+        ("deadlock_splits", JsonValue::Num(profile.deadlock_splits)),
+        ("idt_records", JsonValue::Num(profile.idt_records)),
+        ("idt_overflows", JsonValue::Num(profile.idt_overflows)),
+        ("latency", latency_summary_json(&profile.sorted_latencies())),
+        ("attribution", attribution_json(&profile.totals)),
+    ])
+}
+
+/// The `pbm-bench-prof/v1` document: all grid cells, in grid order.
+pub fn bench_doc(cells: Vec<JsonValue>, quick: bool) -> JsonValue {
+    obj(vec![
+        ("schema", JsonValue::Str(BENCH_SCHEMA.to_string())),
+        ("quick", JsonValue::Bool(quick)),
+        ("cells", JsonValue::Array(cells)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Component;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&[10, 20], 50), 10);
+        assert_eq!(percentile(&[10, 20], 51), 20);
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[5, 6], 0), 5, "p0 clamps to the minimum");
+    }
+
+    #[test]
+    fn latency_summary_shape() {
+        let s = latency_summary_json(&[100, 200, 300]);
+        assert_eq!(s.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(s.get("sum").unwrap().as_u64(), Some(600));
+        assert_eq!(s.get("mean_milli").unwrap().as_u64(), Some(200_000));
+        assert_eq!(s.get("p50").unwrap().as_u64(), Some(200));
+        assert_eq!(s.get("p99").unwrap().as_u64(), Some(300));
+        assert_eq!(s.get("max").unwrap().as_u64(), Some(300));
+        let empty = latency_summary_json(&[]);
+        assert_eq!(empty.get("mean_milli").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn attribution_json_has_stable_full_shape() {
+        let j = attribution_json(&Attribution::default());
+        let JsonValue::Object(fields) = &j else {
+            panic!("not an object")
+        };
+        assert_eq!(fields.len(), Component::ALL.len(), "zeros included");
+        assert_eq!(fields[0].0, "dep_wait");
+        assert_eq!(fields.last().unwrap().0, "retire");
+    }
+
+    #[test]
+    fn empty_profile_report_is_well_formed() {
+        let doc = report_json(&Profile::default(), 5);
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(REPORT_SCHEMA));
+        assert_eq!(doc.get("barriers").unwrap().as_u64(), Some(0));
+        assert!(doc.get("slowest").unwrap().as_array().unwrap().is_empty());
+        let text = doc.to_json();
+        assert_eq!(pbm_obs::json::parse(&text).unwrap(), doc, "round-trips");
+    }
+
+    #[test]
+    fn bench_doc_shape() {
+        let cell = cell_json("lb", "micro48", &Profile::default());
+        assert_eq!(cell.get("config").unwrap().as_str(), Some("lb"));
+        let doc = bench_doc(vec![cell], true);
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(BENCH_SCHEMA));
+        assert_eq!(doc.get("quick"), Some(&JsonValue::Bool(true)));
+        assert_eq!(doc.get("cells").unwrap().as_array().unwrap().len(), 1);
+    }
+}

@@ -39,8 +39,17 @@ impl System {
             // A conflict outranks any earlier attribution: if a request had
             // to wait for this epoch, its persist was online no matter who
             // started the flush (this is what Figure 12 counts).
+            let epoch = EpochId::new(e);
+            if self.obs.is_enabled() && !self.flush_reasons[i].contains_key(&epoch) {
+                // First request for this epoch: the causal anchor of its
+                // end-to-end persist latency in exported traces.
+                self.emit(pbm_types::TraceEventKind::FlushRequested {
+                    tag: EpochTag::new(core, epoch),
+                    reason,
+                });
+            }
             self.flush_reasons[i]
-                .entry(EpochId::new(e))
+                .entry(epoch)
                 .and_modify(|r| {
                     if reason == FlushReason::Conflict {
                         *r = FlushReason::Conflict;
@@ -233,10 +242,25 @@ impl System {
                 MessageClass::Control,
                 t0,
             );
-            let start =
-                t_fe.max(arrivals[bi])
-                    .max(log_ready)
-                    .max(if bi == 0 { chk_done } else { t0 });
+            let chk_gate = if bi == 0 { chk_done } else { t0 };
+            let start = t_fe.max(arrivals[bi]).max(log_ready).max(chk_gate);
+            if self.obs.is_enabled() {
+                // Cascade-stamped (at `start`, ahead of the loop clock),
+                // like `NocSend`: the analyzer pairs it with the matching
+                // `BankAck` to decompose the bank's flush window.
+                self.obs.record(pbm_types::TraceEvent::new(
+                    start,
+                    pbm_types::TraceEventKind::BankFlushStart {
+                        tag,
+                        bank: b,
+                        cmd_at: t_fe,
+                        wb_at: arrivals[bi],
+                        log_at: log_ready,
+                        chk_at: chk_gate,
+                        lines: per_bank[bi].len() as u32,
+                    },
+                ));
+            }
             let mut done = start;
             for &(line, value) in &per_bank[bi] {
                 let mc = self.mc_of(line);
@@ -246,7 +270,7 @@ impl System {
                     MessageClass::Writeback,
                     start,
                 );
-                let t_w = self.mcs[mc.index()].schedule_write(t_mc);
+                let (t_begin, t_w) = self.mcs[mc.index()].schedule_write_timed(t_mc);
                 self.nvram.persist(line, value, t_w);
                 self.stats.nvram_writes += 1;
                 self.stats.epoch_flush_writes += 1;
@@ -256,6 +280,20 @@ impl System {
                     MessageClass::Control,
                     t_w,
                 );
+                if self.obs.is_enabled() {
+                    self.obs.record(pbm_types::TraceEvent::new(
+                        start,
+                        pbm_types::TraceEventKind::PersistWrite {
+                            tag,
+                            bank: b,
+                            mc,
+                            mc_at: t_mc,
+                            begin: t_begin,
+                            durable: t_w,
+                            ack_at: t_ack,
+                        },
+                    ));
+                }
                 done = done.max(t_ack);
             }
             let t_ba = self.send_msg(

@@ -5,7 +5,7 @@
 //! nvram) can emit them without depending on the `pbm-obs` crate, which
 //! owns collection, sampling and export.
 
-use crate::ids::{BankId, CoreId, EpochId, EpochTag, NodeId};
+use crate::ids::{BankId, CoreId, EpochId, EpochTag, McId, NodeId};
 use crate::time::Cycle;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -204,12 +204,66 @@ pub enum TraceEventKind {
         /// The phase entered.
         phase: EpochPhase,
     },
+    /// A flush was requested for an epoch that had no prior request — the
+    /// causal anchor of its end-to-end persist latency. The gap to the
+    /// `FlushEpoch` event is the arbiter's dependence-wait plus queueing
+    /// behind the core's earlier in-flight epochs.
+    FlushRequested {
+        /// The epoch whose flush was requested.
+        tag: EpochTag,
+        /// Why the flush was requested (first attribution; a later
+        /// conflict may still upgrade the reason seen at `FlushEpoch`).
+        reason: FlushReason,
+    },
     /// The arbiter issued FlushEpoch to the LLC banks (handshake step 1).
     FlushEpoch {
         /// The epoch being flushed.
         tag: EpochTag,
         /// Why the flush was requested.
         reason: FlushReason,
+    },
+    /// One bank's flush pipeline became unblocked for an epoch (handshake
+    /// step 2 issue point). The event is stamped with the issue cycle —
+    /// the maximum of the four gate times it also carries, which let an
+    /// offline analyzer attribute the gate delay to the component that
+    /// held it (command delivery, L1 writebacks, undo-log write-ahead,
+    /// checkpoint completion).
+    BankFlushStart {
+        /// The epoch being flushed.
+        tag: EpochTag,
+        /// The bank.
+        bank: BankId,
+        /// When the FlushEpoch control message reached this bank.
+        cmd_at: Cycle,
+        /// When the last L1 writeback destined for this bank arrived.
+        wb_at: Cycle,
+        /// When the epoch's undo-log records were durable (BSP; flush
+        /// start otherwise).
+        log_at: Cycle,
+        /// When the processor-state checkpoint completed (BSP, bank 0
+        /// only; flush start otherwise).
+        chk_at: Cycle,
+        /// Number of lines this bank persists for the epoch.
+        lines: u32,
+    },
+    /// One line write of an epoch flush traversed bank → MC → NVRAM →
+    /// PersistAck (handshake step 2). Stamped with the bank's issue cycle;
+    /// the four milestones it carries decompose the write's round trip.
+    PersistWrite {
+        /// The epoch being flushed.
+        tag: EpochTag,
+        /// The issuing bank.
+        bank: BankId,
+        /// The memory controller that served the write.
+        mc: McId,
+        /// When the writeback reached the controller.
+        mc_at: Cycle,
+        /// When the controller started the device write (queue exit).
+        begin: Cycle,
+        /// When the line was durable (PersistAck generated).
+        durable: Cycle,
+        /// When the PersistAck reached the bank.
+        ack_at: Cycle,
     },
     /// A bank finished persisting its lines for an epoch (handshake step 3).
     BankAck {
@@ -297,7 +351,10 @@ impl TraceEventKind {
     pub const fn name(&self) -> &'static str {
         match self {
             TraceEventKind::EpochPhase { .. } => "epoch_phase",
+            TraceEventKind::FlushRequested { .. } => "flush_requested",
             TraceEventKind::FlushEpoch { .. } => "flush_epoch",
+            TraceEventKind::BankFlushStart { .. } => "bank_flush_start",
+            TraceEventKind::PersistWrite { .. } => "persist_write",
             TraceEventKind::BankAck { .. } => "bank_ack",
             TraceEventKind::PersistCmp { .. } => "persist_cmp",
             TraceEventKind::IdtRecord { .. } => "idt_record",
@@ -391,9 +448,31 @@ mod tests {
                 tag,
                 phase: EpochPhase::Ongoing,
             },
+            TraceEventKind::FlushRequested {
+                tag,
+                reason: FlushReason::Barrier,
+            },
             TraceEventKind::FlushEpoch {
                 tag,
                 reason: FlushReason::Conflict,
+            },
+            TraceEventKind::BankFlushStart {
+                tag,
+                bank: BankId::new(0),
+                cmd_at: Cycle::new(4),
+                wb_at: Cycle::new(5),
+                log_at: Cycle::new(6),
+                chk_at: Cycle::new(7),
+                lines: 2,
+            },
+            TraceEventKind::PersistWrite {
+                tag,
+                bank: BankId::new(0),
+                mc: McId::new(1),
+                mc_at: Cycle::new(10),
+                begin: Cycle::new(11),
+                durable: Cycle::new(12),
+                ack_at: Cycle::new(13),
             },
             TraceEventKind::BankAck {
                 tag,

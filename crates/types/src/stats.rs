@@ -115,6 +115,39 @@ impl Histogram {
         self.max
     }
 
+    /// The occupied power-of-two buckets as `(lower, upper, count)`
+    /// triples, in ascending order. Bucket `[2^i, 2^(i+1))` is reported
+    /// with `lower = 2^i` (0 for bucket 0, which also counts zero samples)
+    /// and `upper = 2^(i+1) - 1`; empty buckets are skipped, so JSON
+    /// exports stay compact.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pbm_types::Histogram;
+    /// let mut h = Histogram::new();
+    /// h.record(3);
+    /// h.record(3);
+    /// h.record(40);
+    /// assert_eq!(h.nonzero_buckets(), vec![(2, 3, 2), (32, 63, 1)]);
+    /// ```
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let lower = if i == 0 { 0 } else { 1u64 << i };
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                (lower, upper, n)
+            })
+            .collect()
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {

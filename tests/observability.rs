@@ -124,10 +124,19 @@ fn trace_covers_the_flush_handshake() {
     // Timestamps never decrease across the milestone events, which are
     // stamped with the event-loop clock. (`NocSend` is exempt: it is
     // stamped with its injection time, which a timed cascade inside one
-    // handler can place ahead of the loop clock.)
+    // handler can place ahead of the loop clock. `BankFlushStart` and
+    // `PersistWrite` are likewise cascade-stamped: the whole bank flush
+    // is computed inside one handler and stamped with future cycles.)
     let milestones: Vec<_> = events
         .iter()
-        .filter(|e| !matches!(e.kind, TraceEventKind::NocSend { .. }))
+        .filter(|e| {
+            !matches!(
+                e.kind,
+                TraceEventKind::NocSend { .. }
+                    | TraceEventKind::BankFlushStart { .. }
+                    | TraceEventKind::PersistWrite { .. }
+            )
+        })
         .collect();
     assert!(
         milestones.windows(2).all(|w| w[0].cycle <= w[1].cycle),
